@@ -1,0 +1,59 @@
+// Ablation E (paper Sec. III): the two accelerator classes the paper
+// surveys, head to head on the same layer — the memory-based CLE (SIMD
+// style: banked feature maps, folded MAC sweep) vs. the streaming engine
+// (line buffers + fully parallel MAC array). Trade: throughput per DSP.
+#include "bench_common.h"
+#include "flow/ooc.h"
+#include "synth/layers.h"
+#include "synth/streaming_conv.h"
+
+using namespace fpgasim;
+
+int main() {
+  const Device device = make_xcku5p_sim();
+  const int in_c = 2, out_c = 4, K = 3, H = 12, W = 12;
+  const auto weights = synth_params(static_cast<std::size_t>(out_c) * in_c * K * K, 7);
+  const auto bias = synth_params(static_cast<std::size_t>(out_c), 8);
+
+  Table table("Ablation E: memory-based CLE vs streaming engine (conv 2->4, k3, 12x12)");
+  table.set_header({"architecture", "Fmax (MHz)", "DSP", "BRAM", "LUT",
+                    "cycles / output pixel", "pblock"});
+
+  {
+    ConvParams p;
+    p.in_c = in_c;
+    p.out_c = out_c;
+    p.kernel = K;
+    p.in_h = H;
+    p.in_w = W;
+    p.ic_par = 2;
+    p.oc_par = 2;
+    const OocResult r = implement_ooc(device, make_conv_component(p, weights, bias));
+    const ResourceVec res = r.checkpoint.netlist.stats().resources;
+    const double cpp = static_cast<double>(p.compute_cycles()) /
+                       (static_cast<double>(p.out_h()) * p.out_w());
+    table.add_row({"memory-based CLE (2x2 PEs)", Table::fmt(r.timing.fmax_mhz, 1),
+                   std::to_string(res.dsp), std::to_string(res.bram),
+                   std::to_string(res.lut), Table::fmt(cpp, 1),
+                   r.checkpoint.pblock.to_string()});
+  }
+  {
+    StreamingConvParams p;
+    p.in_c = in_c;
+    p.out_c = out_c;
+    p.kernel = K;
+    p.in_w = W;
+    const OocResult r =
+        implement_ooc(device, make_streaming_conv_component(p, weights, bias));
+    const ResourceVec res = r.checkpoint.netlist.stats().resources;
+    table.add_row({"streaming (line buffers)", Table::fmt(r.timing.fmax_mhz, 1),
+                   std::to_string(res.dsp), std::to_string(res.bram),
+                   std::to_string(res.lut), "1.0", r.checkpoint.pblock.to_string()});
+  }
+  table.print();
+  std::puts("paper Sec. III: streaming accelerators 'always tailor the hardware to the");
+  std::puts("target network' for maximum throughput; the CLE folds the MAC sweep over");
+  std::puts("far fewer DSPs at banked-BRAM cost. Both are built from the same primitive");
+  std::puts("library and both run through the same pre-implemented flow.");
+  return 0;
+}

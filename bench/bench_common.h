@@ -1,0 +1,59 @@
+// Shared helpers for the paper-reproduction benchmark harnesses: each
+// bench_* binary regenerates one table or figure of the paper on the
+// simulated substrate and prints it next to the paper's reported values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "flow/build.h"
+#include "flow/monolithic.h"
+#include "flow/preimpl.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace fpgasim::bench {
+
+struct NetworkRun {
+  CnnModel model;
+  ModelImpl impl;
+  std::vector<std::vector<int>> groups;
+  CheckpointDb db;
+  double function_opt_wall = 0.0;
+
+  ComposedDesign composed;
+  PreImplReport pre;
+
+  MonoReport mono;
+  NetlistStats flat_stats;
+};
+
+/// Builds the database and runs both flows for a model.
+inline NetworkRun run_network(const Device& device, CnnModel model, long dsp_budget,
+                              int max_tile = 28) {
+  NetworkRun run;
+  run.model = std::move(model);
+  run.impl = choose_implementation(run.model, dsp_budget, max_tile);
+  run.groups = default_grouping(run.model);
+
+  Stopwatch sw;
+  prepare_component_db(device, run.model, run.impl, run.groups, run.db);
+  run.function_opt_wall = sw.seconds();
+
+  run.pre = run_preimpl_cnn(device, run.model, run.impl, run.groups, run.db, run.composed);
+
+  Netlist flat = build_flat_netlist(run.model, run.impl, run.groups);
+  run.flat_stats = flat.stats();
+  PhysState phys;
+  run.mono = run_monolithic_flow(device, flat, phys);
+  return run;
+}
+
+inline std::string pct_of(std::int64_t used, std::int64_t total) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld (%.2f%%)", static_cast<long long>(used),
+                100.0 * static_cast<double>(used) / static_cast<double>(total));
+  return buf;
+}
+
+}  // namespace fpgasim::bench

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the CAD substrate itself (google-benchmark):
+// synthesis, clustering, annealing, routing and STA throughput on a
+// LeNet-class component. These are the costs behind every row of the
+// productivity figures.
+#include <benchmark/benchmark.h>
+
+#include "flow/ooc.h"
+#include "place/place.h"
+#include "route/router.h"
+#include "synth/layers.h"
+#include "timing/sta.h"
+
+namespace fpgasim {
+namespace {
+
+ConvParams bench_conv() {
+  ConvParams p;
+  p.in_c = 4;
+  p.out_c = 8;
+  p.kernel = 3;
+  p.in_h = 12;
+  p.in_w = 12;
+  p.ic_par = 2;
+  p.oc_par = 2;
+  p.materialize_roms = false;
+  return p;
+}
+
+void BM_SynthesizeConv(benchmark::State& state) {
+  const ConvParams p = bench_conv();
+  for (auto _ : state) {
+    Netlist nl = make_conv_component(p, {}, {});
+    benchmark::DoNotOptimize(nl.cell_count());
+  }
+}
+BENCHMARK(BM_SynthesizeConv);
+
+void BM_ClusterNetlist(benchmark::State& state) {
+  const Netlist nl = make_conv_component(bench_conv(), {}, {});
+  for (auto _ : state) {
+    Clustering clustering = cluster_netlist(nl, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(clustering.num_clusters);
+  }
+}
+BENCHMARK(BM_ClusterNetlist)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_PlaceSa(benchmark::State& state) {
+  const Device device = make_xcku5p_sim();
+  const Netlist nl = make_conv_component(bench_conv(), {}, {});
+  const Clustering clustering = cluster_netlist(nl, 1);
+  std::vector<PlaceItem> items;
+  std::vector<PlaceNet> nets;
+  build_place_model(nl, clustering, items, nets);
+  SaOptions opt;
+  opt.region = Pblock{0, 0, 47, 47};
+  opt.moves_per_item = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SaResult result = place_sa(device, items, nets, opt);
+    benchmark::DoNotOptimize(result.final_hpwl);
+  }
+  state.counters["cells"] = static_cast<double>(items.size());
+}
+BENCHMARK(BM_PlaceSa)->Arg(40)->Arg(160);
+
+void BM_RouteComponent(benchmark::State& state) {
+  const Device device = make_xcku5p_sim();
+  const Netlist nl = make_conv_component(bench_conv(), {}, {});
+  const Clustering clustering = cluster_netlist(nl, 1);
+  std::vector<PlaceItem> items;
+  std::vector<PlaceNet> nets;
+  build_place_model(nl, clustering, items, nets);
+  SaOptions opt;
+  opt.region = Pblock{0, 0, 47, 47};
+  const SaResult placement = place_sa(device, items, nets, opt);
+  PhysState base;
+  assign_cells_to_tiles(device, nl, clustering, placement, opt, base);
+  for (auto _ : state) {
+    PhysState phys = base;
+    for (RouteInfo& route : phys.routes) route = RouteInfo{};
+    RouteResult result = route_design(device, nl, phys);
+    benchmark::DoNotOptimize(result.edges_used);
+  }
+  state.counters["nets"] = static_cast<double>(nl.net_count());
+}
+BENCHMARK(BM_RouteComponent);
+
+void BM_StaComponent(benchmark::State& state) {
+  const Device device = make_xcku5p_sim();
+  const Netlist nl = make_conv_component(bench_conv(), {}, {});
+  PhysState phys;
+  phys.resize_for(nl);
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    phys.cell_loc[c] = TileCoord{static_cast<int>(c % 40), static_cast<int>(c / 40 % 40)};
+  }
+  for (auto _ : state) {
+    TimingResult result = run_sta(nl, phys, device);
+    benchmark::DoNotOptimize(result.fmax_mhz);
+  }
+}
+BENCHMARK(BM_StaComponent);
+
+void BM_OocComponent(benchmark::State& state) {
+  const Device device = make_xcku5p_sim();
+  OocOptions opt;
+  opt.strategies = 1;
+  for (auto _ : state) {
+    OocResult result = implement_ooc(device, make_conv_component(bench_conv(), {}, {}), opt);
+    benchmark::DoNotOptimize(result.timing.fmax_mhz);
+  }
+}
+BENCHMARK(BM_OocComponent);
+
+}  // namespace
+}  // namespace fpgasim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Component library curation: pre-implements a small catalog of reusable
+// CNN components (the paper's "database of pre-built checkpoints"), saves
+// it to disk as .fdcp files, reloads it and prints the catalog with the
+// achieved QoR — the reuse story of Sec. IV-A.
+#include <cstdio>
+#include <string>
+
+#include "flow/checkpoint_db.h"
+#include "flow/ooc.h"
+#include "synth/kernels.h"
+#include "synth/layers.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace fpgasim;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/fpgasim_component_db";
+  const Device device = make_xcku5p_sim();
+
+  struct Entry {
+    std::string key;
+    Netlist netlist;
+  };
+  std::vector<Entry> catalog;
+  // A spread of convolution engines...
+  for (int k : {3, 5}) {
+    for (int par : {1, 2, 4}) {
+      ConvParams p;
+      p.name = "conv" + std::to_string(k) + "x" + std::to_string(k) + "_p" +
+               std::to_string(par);
+      p.in_c = 4;
+      p.out_c = 8;
+      p.kernel = k;
+      p.in_h = 16;
+      p.in_w = 16;
+      p.ic_par = par;
+      p.oc_par = par;
+      p.materialize_roms = false;
+      catalog.push_back({p.name, make_conv_component(p, {}, {})});
+    }
+  }
+  // ...pooling engines...
+  for (int c : {4, 16}) {
+    PoolParams p;
+    p.name = "maxpool_c" + std::to_string(c);
+    p.channels = c;
+    p.kernel = 2;
+    p.in_h = 16;
+    p.in_w = 16;
+    p.fuse_relu = true;
+    catalog.push_back({p.name, make_pool_component(p)});
+  }
+  // ...and the four motivation kernels.
+  for (KernelApp app : {KernelApp::kMatrixMult, KernelApp::kOuterProduct,
+                        KernelApp::kRobertCross, KernelApp::kSmoothing}) {
+    catalog.push_back({std::string("pe3x3_") + to_string(app),
+                       make_kernel_component(app, to_string(app))});
+  }
+
+  // Function-optimize everything in parallel and fill the database.
+  CheckpointDb db;
+  std::mutex db_mutex;
+  parallel_for(0, catalog.size(), [&](std::size_t i) {
+    OocOptions opt;
+    opt.seed = 11 + i;
+    OocResult result = implement_ooc(device, std::move(catalog[i].netlist), opt);
+    std::lock_guard<std::mutex> lock(db_mutex);
+    db.put(catalog[i].key, std::move(result.checkpoint));
+  });
+
+  db.save_dir(dir);
+  CheckpointDb reloaded;
+  const std::size_t loaded = reloaded.load_dir(dir);
+  std::printf("saved %zu checkpoints to %s, reloaded %zu\n", db.size(), dir.c_str(), loaded);
+
+  Table table("component database catalog");
+  table.set_header({"component", "Fmax (MHz)", "pblock", "LUT", "DSP", "BRAM", "impl (s)"});
+  for (const std::string& key : reloaded.keys()) {
+    const Checkpoint* cp = reloaded.get(key);
+    const ResourceVec res = cp->netlist.stats().resources;
+    table.add_row({key, Table::fmt(cp->meta.fmax_mhz, 1), cp->pblock.to_string(),
+                   std::to_string(res.lut), std::to_string(res.dsp),
+                   std::to_string(res.bram), Table::fmt(cp->meta.implement_seconds, 2)});
+  }
+  table.print();
+  std::printf("total offline function-optimization time: %.2fs\n",
+              reloaded.total_implement_seconds());
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "alloc/best_fit.h"
+
+#include <stdexcept>
+
+namespace fpgasim {
+
+BestFitAllocator::BestFitAllocator(std::uint64_t capacity_bytes, std::uint64_t alignment)
+    : capacity_(capacity_bytes), alignment_(alignment == 0 ? 1 : alignment) {
+  Block whole;
+  whole.base = 0;
+  whole.size = capacity_;
+  blocks_.push_back(whole);
+  head_ = 0;
+}
+
+std::int32_t BestFitAllocator::new_block() {
+  if (!free_slots_.empty()) {
+    const std::int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    blocks_[static_cast<std::size_t>(slot)] = Block{};
+    return slot;
+  }
+  blocks_.push_back(Block{});
+  return static_cast<std::int32_t>(blocks_.size() - 1);
+}
+
+std::optional<std::uint64_t> BestFitAllocator::allocate(std::uint64_t size) {
+  if (size == 0) size = 1;
+  size = (size + alignment_ - 1) / alignment_ * alignment_;
+
+  // Best fit: smallest free block that still fits.
+  std::int32_t best = -1;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) {
+    const Block& blk = blocks_[static_cast<std::size_t>(i)];
+    if (blk.in_use || blk.size < size) continue;
+    if (best == -1 || blk.size < blocks_[static_cast<std::size_t>(best)].size) best = i;
+  }
+  if (best == -1) return std::nullopt;
+
+  Block& blk = blocks_[static_cast<std::size_t>(best)];
+  if (blk.size > size) {
+    // Split: tail remains free.
+    const std::int32_t tail = new_block();
+    Block& chosen = blocks_[static_cast<std::size_t>(best)];  // re-fetch (realloc)
+    Block& rest = blocks_[static_cast<std::size_t>(tail)];
+    rest.base = chosen.base + size;
+    rest.size = chosen.size - size;
+    rest.in_use = false;
+    rest.prev = best;
+    rest.next = chosen.next;
+    if (chosen.next != -1) blocks_[static_cast<std::size_t>(chosen.next)].prev = tail;
+    chosen.next = tail;
+    chosen.size = size;
+  }
+  Block& chosen = blocks_[static_cast<std::size_t>(best)];
+  chosen.in_use = true;
+  used_ += chosen.size;
+  return chosen.base;
+}
+
+void BestFitAllocator::free(std::uint64_t base) {
+  std::int32_t idx = -1;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) {
+    if (blocks_[static_cast<std::size_t>(i)].base == base) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == -1 || !blocks_[static_cast<std::size_t>(idx)].in_use) {
+    throw std::invalid_argument("BestFitAllocator::free: bad address " + std::to_string(base));
+  }
+  Block& blk = blocks_[static_cast<std::size_t>(idx)];
+  blk.in_use = false;
+  used_ -= blk.size;
+
+  // Coalesce with the next block.
+  if (blk.next != -1 && !blocks_[static_cast<std::size_t>(blk.next)].in_use) {
+    const std::int32_t nxt = blk.next;
+    Block& nb = blocks_[static_cast<std::size_t>(nxt)];
+    blk.size += nb.size;
+    blk.next = nb.next;
+    if (nb.next != -1) blocks_[static_cast<std::size_t>(nb.next)].prev = idx;
+    nb.live = false;
+    free_slots_.push_back(nxt);
+  }
+  // Coalesce with the previous block.
+  if (blk.prev != -1 && !blocks_[static_cast<std::size_t>(blk.prev)].in_use) {
+    const std::int32_t prv = blk.prev;
+    Block& pb = blocks_[static_cast<std::size_t>(prv)];
+    pb.size += blk.size;
+    pb.next = blk.next;
+    if (blk.next != -1) blocks_[static_cast<std::size_t>(blk.next)].prev = prv;
+    blk.live = false;
+    free_slots_.push_back(idx);
+  }
+}
+
+std::size_t BestFitAllocator::block_count() const {
+  std::size_t n = 0;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) ++n;
+  return n;
+}
+
+std::size_t BestFitAllocator::free_block_count() const {
+  std::size_t n = 0;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) {
+    if (!blocks_[static_cast<std::size_t>(i)].in_use) ++n;
+  }
+  return n;
+}
+
+std::uint64_t BestFitAllocator::largest_free_block() const {
+  std::uint64_t best = 0;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) {
+    const Block& blk = blocks_[static_cast<std::size_t>(i)];
+    if (!blk.in_use && blk.size > best) best = blk.size;
+  }
+  return best;
+}
+
+std::vector<std::string> BestFitAllocator::check() const {
+  std::vector<std::string> problems;
+  std::uint64_t cursor = 0;
+  std::int32_t prev = -1;
+  bool prev_free = false;
+  for (std::int32_t i = head_; i != -1; i = blocks_[static_cast<std::size_t>(i)].next) {
+    const Block& blk = blocks_[static_cast<std::size_t>(i)];
+    if (!blk.live) problems.push_back("dead block in list");
+    if (blk.base != cursor) problems.push_back("gap/overlap at " + std::to_string(blk.base));
+    if (blk.prev != prev) problems.push_back("bad prev link at " + std::to_string(blk.base));
+    if (!blk.in_use && prev_free) {
+      problems.push_back("uncoalesced free blocks at " + std::to_string(blk.base));
+    }
+    prev_free = !blk.in_use;
+    cursor += blk.size;
+    prev = i;
+  }
+  if (cursor != capacity_) problems.push_back("sizes do not sum to capacity");
+  return problems;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,62 @@
+// Off-chip memory allocator: Best-Fit with Coalescing (paper Sec. V-B2).
+//
+// Memory is divided into blocks managed by a doubly-linked block list; each
+// block records its base address, size and use state. Allocation picks the
+// smallest free block that fits (best fit, splitting the remainder);
+// freeing coalesces with free neighbours, providing defragmentation. Used
+// by the VGG example to lay out coefficient data and layer I/O buffers in
+// the simulated DDR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fpgasim {
+
+class BestFitAllocator {
+ public:
+  explicit BestFitAllocator(std::uint64_t capacity_bytes, std::uint64_t alignment = 64);
+
+  /// Allocates `size` bytes; returns the base address or nullopt when no
+  /// free block fits.
+  std::optional<std::uint64_t> allocate(std::uint64_t size);
+
+  /// Frees a previously allocated base address; throws std::invalid_argument
+  /// for unknown or double-freed addresses.
+  void free(std::uint64_t base);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  std::size_t block_count() const;
+  std::size_t free_block_count() const;
+  /// Largest free block (0 if none): fragmentation indicator.
+  std::uint64_t largest_free_block() const;
+
+  /// Internal consistency check (sizes sum to capacity, links sane,
+  /// no two adjacent free blocks). Empty result == healthy.
+  std::vector<std::string> check() const;
+
+ private:
+  struct Block {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    bool in_use = false;
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    bool live = true;  // slot reuse marker
+  };
+
+  std::int32_t new_block();
+
+  std::uint64_t capacity_;
+  std::uint64_t alignment_;
+  std::uint64_t used_ = 0;
+  std::vector<Block> blocks_;
+  std::vector<std::int32_t> free_slots_;
+  std::int32_t head_ = -1;
+};
+
+}  // namespace fpgasim

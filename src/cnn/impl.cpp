@@ -1,0 +1,150 @@
+#include "cnn/impl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpgasim {
+namespace {
+
+/// Largest divisor of n that is <= cap.
+int best_divisor(int n, int cap) {
+  cap = std::min(cap, n);
+  for (int d = cap; d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+}  // namespace
+
+ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_tile,
+                                long rom_weight_limit) {
+  ModelImpl impl;
+  impl.layers.resize(model.layers().size());
+  long total_macs = std::max<long>(1, model.stats().total_macs());
+
+  for (std::size_t i = 0; i < model.layers().size(); ++i) {
+    const Layer& layer = model.layers()[i];
+    LayerImpl& li = impl.layers[i];
+    // Any spatial layer with a feature map too large for on-chip banks is
+    // processed in tiles (the CLE sweeps the image tile by tile).
+    if ((layer.kind == LayerKind::kConv || layer.kind == LayerKind::kPool) &&
+        (layer.in_shape.h > max_tile || layer.in_shape.w > max_tile)) {
+      li.tile_h = std::min(layer.in_shape.h, max_tile);
+      li.tile_w = std::min(layer.in_shape.w, max_tile);
+      if (layer.kind == LayerKind::kPool) {
+        li.tile_h -= li.tile_h % layer.kernel;  // tiles must pool evenly
+        li.tile_w -= li.tile_w % layer.kernel;
+      }
+    }
+    if (layer.kind != LayerKind::kConv && layer.kind != LayerKind::kFc) continue;
+
+    const long share = std::max<long>(
+        1, static_cast<long>(std::llround(static_cast<double>(dsp_budget) * layer.macs() /
+                                          static_cast<double>(total_macs))));
+    const int in_c = layer.kind == LayerKind::kFc ? static_cast<int>(layer.in_shape.volume())
+                                                  : layer.in_shape.c;
+    const int out_c = layer.out_c;
+
+    // Split the per-layer DSP allowance between input lanes and CU columns,
+    // biased toward input parallelism (shorter accumulation loops).
+    const int root = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(share))));
+    li.ic_par = best_divisor(in_c, 2 * root);
+    li.oc_par = best_divisor(out_c, std::max(1, static_cast<int>(share) / li.ic_par));
+    // Rebalance if the input dimension was the limiting factor.
+    if (static_cast<long>(li.ic_par) * li.oc_par < share / 2) {
+      li.oc_par = best_divisor(out_c, std::max(1, static_cast<int>(share) / li.ic_par));
+      li.ic_par = best_divisor(in_c, std::max(1, static_cast<int>(share) / li.oc_par));
+    }
+
+    if (layer.weights() > rom_weight_limit) {
+      li.materialize = false;
+      li.weight_buffer_ocg = 1;
+    }
+  }
+  return impl;
+}
+
+std::vector<std::vector<int>> default_grouping(const CnnModel& model) {
+  std::vector<std::vector<int>> groups;
+  const auto& layers = model.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Layer& layer = layers[i];
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        break;  // the streamer feeds the first component directly
+      case LayerKind::kConv:
+      case LayerKind::kPool:
+      case LayerKind::kFc:
+        groups.push_back({static_cast<int>(i)});
+        break;
+      case LayerKind::kRelu:
+        // Fused into the previous component when one exists (no memory
+        // controller between them, Sec. IV-B1).
+        if (!groups.empty()) {
+          groups.back().push_back(static_cast<int>(i));
+        } else {
+          groups.push_back({static_cast<int>(i)});
+        }
+        break;
+    }
+  }
+  return groups;
+}
+
+LayerCycles layer_cycles(const Layer& layer, const LayerImpl& impl) {
+  LayerCycles cycles;
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      break;
+    case LayerKind::kConv: {
+      cycles.load = layer.in_shape.volume();
+      cycles.compute = static_cast<long>(layer.out_shape.h) * layer.out_shape.w *
+                       layer.kernel * layer.kernel * (layer.in_shape.c / impl.ic_par) *
+                       (layer.out_c / impl.oc_par);
+      cycles.drain = layer.out_shape.volume();
+      break;
+    }
+    case LayerKind::kFc: {
+      cycles.load = layer.in_shape.volume();
+      cycles.compute = layer.in_shape.volume() / impl.ic_par *
+                       (static_cast<long>(layer.out_c) / impl.oc_par);
+      cycles.drain = layer.out_c;
+      break;
+    }
+    case LayerKind::kPool: {
+      cycles.load = layer.in_shape.volume();
+      cycles.compute = layer.out_shape.volume() * layer.kernel * layer.kernel;
+      cycles.drain = layer.out_shape.volume();
+      break;
+    }
+    case LayerKind::kRelu:
+      cycles.compute = layer.in_shape.volume();  // streaming passthrough
+      break;
+  }
+  return cycles;
+}
+
+ComponentLatency group_latency(const CnnModel& model, const ModelImpl& impl,
+                               const std::vector<int>& group, double fmax_mhz) {
+  ComponentLatency latency;
+  latency.at_mhz = fmax_mhz;
+  for (int idx : group) {
+    const Layer& layer = model.layers()[static_cast<std::size_t>(idx)];
+    if (latency.name.empty()) latency.name = layer.name;
+    latency.cycles += layer_cycles(layer, impl.layers[static_cast<std::size_t>(idx)]).total();
+  }
+  return latency;
+}
+
+double pipeline_throughput(const CnnModel& model, const ModelImpl& impl,
+                           const std::vector<std::vector<int>>& groups, double fmax_mhz) {
+  long interval = 1;
+  for (const auto& group : groups) {
+    interval = std::max(interval, group_latency(model, impl, group, 1.0).cycles);
+  }
+  // cycles / (MHz * 1e6) seconds per image.
+  return fmax_mhz * 1e6 / static_cast<double>(interval);
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,71 @@
+// Implementation planning: per-layer parallelism selection (PE lanes, CU
+// columns, feature-map tiling, weight storage policy), the component
+// grouping step of the granularity exploration (Sec. IV-A1), and the
+// analytic latency model used for Tables III / Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnn/model.h"
+
+namespace fpgasim {
+
+/// Hardware parameters chosen for one layer.
+struct LayerImpl {
+  int ic_par = 1;   // input feature maps processed in parallel (PEs)
+  int oc_par = 1;   // output channels computed in parallel (CU columns)
+  int tile_h = 0;   // 0: process the full feature map on chip
+  int tile_w = 0;
+  bool materialize = true;   // weights in ROM vs streamed buffers
+  int weight_buffer_ocg = 0; // buffered output groups when streaming
+
+  long dsp_count() const { return static_cast<long>(ic_par) * oc_par; }
+};
+
+struct ModelImpl {
+  std::vector<LayerImpl> layers;  // aligned with CnnModel::layers()
+};
+
+/// Distributes a DSP budget over the conv/FC layers proportionally to
+/// their MAC share, picking channel-divisor parallelism, and tiles large
+/// feature maps down to `max_tile`. Layers with more than
+/// `rom_weight_limit` parameters switch to streamed weight buffers (the
+/// VGG off-chip coefficient scheme of Sec. V-B2).
+ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_tile = 32,
+                                long rom_weight_limit = 70000);
+
+/// Component grouping ("granularity exploration"): each conv and FC layer
+/// becomes a component; a relu is fused into the preceding conv/pool
+/// (Sec. IV-B1: no memory controller needed between them); pools become
+/// components of their own.
+std::vector<std::vector<int>> default_grouping(const CnnModel& model);
+
+/// Cycle counts of one layer under an implementation (logical, untiled
+/// feature-map dimensions; tiling multiplies the sweep count but the total
+/// work is identical).
+struct LayerCycles {
+  long load = 0, compute = 0, drain = 0;
+  long total() const { return load + compute + drain; }
+};
+LayerCycles layer_cycles(const Layer& layer, const LayerImpl& impl);
+
+/// Per-component and end-to-end latency at the given clock.
+struct ComponentLatency {
+  std::string name;
+  long cycles = 0;
+  double at_mhz = 0.0;
+  double latency_us() const { return cycles / at_mhz; }  // cycles/MHz == us
+};
+ComponentLatency group_latency(const CnnModel& model, const ModelImpl& impl,
+                               const std::vector<int>& group, double fmax_mhz);
+
+/// Image-pipelined throughput: components overlap across images (each CLE
+/// processes image i while its successor works on image i-1), so the
+/// initiation interval is the slowest component's cycle count.
+/// Returns images/second at the given clock.
+double pipeline_throughput(const CnnModel& model, const ModelImpl& impl,
+                           const std::vector<std::vector<int>>& groups, double fmax_mhz);
+
+}  // namespace fpgasim

@@ -1,0 +1,106 @@
+// CNN model descriptions: layer graph (DFG), shape inference, weight/MAC
+// accounting (Table I), the textual "CNN architecture definition" the
+// pre-implemented flow consumes, and reference fixed-point inference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/fixed.h"
+#include "sim/golden.h"
+
+namespace fpgasim {
+
+enum class LayerKind { kInput, kConv, kPool, kRelu, kFc };
+
+const char* to_string(LayerKind kind);
+
+struct Shape {
+  int c = 0, h = 0, w = 0;
+  long volume() const { return static_cast<long>(c) * h * w; }
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+struct Layer {
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+  int kernel = 1;
+  int stride = 1;
+  int out_c = 0;         // conv filters / fc outputs
+  bool fuse_relu = false;
+  int input = -1;        // DFG predecessor (layer index), -1 for kInput
+
+  // Filled by CnnModel::infer_shapes().
+  Shape in_shape, out_shape;
+
+  long weights() const;  // parameters incl. bias
+  long macs() const;     // multiply-accumulates per image
+};
+
+class CnnModel {
+ public:
+  CnnModel() = default;
+  explicit CnnModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::vector<Layer>& layers() { return layers_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Appends a layer connected to the previous one (linear chains).
+  int add(Layer layer);
+
+  /// Propagates shapes along the DFG. Throws std::runtime_error on
+  /// malformed graphs (bad kernel sizes, missing input...).
+  void infer_shapes();
+
+  struct Stats {
+    int conv_layers = 0, fc_layers = 0;
+    long conv_weights = 0, conv_macs = 0;
+    long fc_weights = 0, fc_macs = 0;
+    long total_weights() const { return conv_weights + fc_weights; }
+    long total_macs() const { return conv_macs + fc_macs; }
+  };
+  Stats stats() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+};
+
+/// LeNet-5-style network as evaluated in the paper (Table III): conv1(6@5x5)
+/// -> pool+relu -> conv2(16@5x5) -> pool+relu -> fc1(120) -> fc2(10),
+/// 32x32x1 input.
+CnnModel make_lenet5();
+
+/// VGG-16: 13 conv (3x3/s1) + 5 maxpool + 3 FC, 224x224x3 input.
+CnnModel make_vgg16();
+
+// -- CNN architecture definition (Sec. IV-B1) -------------------------------
+
+/// Parses the textual architecture definition. Format (one item per line,
+/// '#' comments):
+///   network <name>
+///   input <c> <h> <w>
+///   conv <name> out=<n> k=<k> [s=<s>] [relu]
+///   pool <name> k=<k> [relu]
+///   relu <name>
+///   fc <name> out=<n>
+/// Throws std::runtime_error with a line number on syntax errors.
+CnnModel parse_arch_def(const std::string& text);
+
+/// Serializes a model back to the definition format (round-trips).
+std::string to_arch_def(const CnnModel& model);
+
+// -- reference inference ----------------------------------------------------
+
+/// Deterministic synthetic Q8.8 parameters (the paper hard-codes weights
+/// in ROM and never trains; magnitudes stay small so fixed-point
+/// saturation is not hit).
+std::vector<Fixed16> synth_params(std::size_t count, std::uint64_t seed);
+
+/// Runs the whole model on `input` with synth_params(layer seed = base+i)
+/// through the golden layer implementations. Returns the flattened output.
+std::vector<Fixed16> reference_inference(const CnnModel& model, const Tensor& input,
+                                         std::uint64_t seed_base = 1000);
+
+}  // namespace fpgasim

@@ -1,0 +1,115 @@
+#include "fabric/pblock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fpgasim {
+
+std::string Pblock::to_string() const {
+  return "pblock[x" + std::to_string(x0) + ":" + std::to_string(x1) + " y" + std::to_string(y0) +
+         ":" + std::to_string(y1) + "]";
+}
+
+ResourceVec pblock_resources(const Device& device, const Pblock& pblock) {
+  ResourceVec total;
+  for (int x = std::max(0, pblock.x0); x <= std::min(device.width() - 1, pblock.x1); ++x) {
+    for (int y = std::max(0, pblock.y0); y <= std::min(device.height() - 1, pblock.y1); ++y) {
+      total += device.tile_capacity(x, y);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// prefix[x][y] = capacity of column x over rows [0, y).
+std::vector<std::vector<ResourceVec>> column_prefix_sums(const Device& device) {
+  std::vector<std::vector<ResourceVec>> prefix(
+      static_cast<std::size_t>(device.width()),
+      std::vector<ResourceVec>(static_cast<std::size_t>(device.height()) + 1));
+  for (int x = 0; x < device.width(); ++x) {
+    for (int y = 0; y < device.height(); ++y) {
+      prefix[static_cast<std::size_t>(x)][static_cast<std::size_t>(y) + 1] =
+          prefix[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] +
+          device.tile_capacity(x, y);
+    }
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::optional<Pblock> find_min_pblock(const Device& device, const ResourceVec& need,
+                                      double aspect_pref, int max_width) {
+  const auto prefix = column_prefix_sums(device);
+  auto column_window = [&](int x, int y0, int h) {
+    return prefix[static_cast<std::size_t>(x)][static_cast<std::size_t>(y0 + h)] -
+           prefix[static_cast<std::size_t>(x)][static_cast<std::size_t>(y0)];
+  };
+
+  std::optional<Pblock> best;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  // Candidate heights: even (site-parity-preserving) sizes, coarser as they
+  // grow; capped at the device height.
+  std::vector<int> heights;
+  for (int h : {2, 4, 6, 8, 10, 12, 16, 20, 24, 30, 40, 48, 60, 80, 120, 160, 240}) {
+    if (h <= device.height()) heights.push_back(h);
+  }
+  const int y_step = std::max(2, device.clock_region_height() / 4);
+
+  for (int h : heights) {
+    if (best && h > 2 * best->height()) break;  // taller shapes cannot win
+    for (int y0 = 0; y0 + h <= device.height(); y0 += y_step) {
+      ResourceVec have;
+      int x1 = -1;  // rightmost column currently in the window (inclusive)
+      for (int x0 = 0; x0 < device.width(); ++x0) {
+        if (x1 < x0 - 1) {
+          x1 = x0 - 1;
+          have = ResourceVec{};
+        }
+        // Grow right edge until the requirement fits (sliding window).
+        while (!need.fits_in(have) && x1 + 1 < device.width() &&
+               (max_width <= 0 || x1 - x0 + 1 < max_width)) {
+          ++x1;
+          have += column_window(x1, y0, h);
+        }
+        if (!need.fits_in(have)) {
+          if (max_width <= 0) break;  // no window starting >= x0 can fit
+          have -= column_window(x0, y0, h);
+          continue;  // width-capped: slide the whole window right
+        }
+        const Pblock cand{x0, y0, x1, y0 + h - 1};
+        const double aspect = static_cast<double>(cand.width()) / cand.height();
+        const double aspect_penalty = std::abs(std::log(aspect / aspect_pref)) * 0.15;
+        const double disc_penalty =
+            device.discontinuities_between(x0, x1 + 1) > 0 ? 0.5 : 0.0;
+        const double score =
+            static_cast<double>(cand.area()) * (1.0 + aspect_penalty + disc_penalty);
+        if (score < best_score) {
+          best_score = score;
+          best = cand;
+        }
+        // Slide: drop column x0 before advancing the left edge.
+        have -= column_window(x0, y0, h);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<int, int>> relocation_offsets(const Device& device, const Pblock& pblock) {
+  std::vector<std::pair<int, int>> anchors;
+  const std::vector<int> dxs = device.compatible_column_offsets(pblock.x0, pblock.width());
+  for (int dx : dxs) {
+    const int dy_min = -pblock.y0;
+    const int dy_start = dy_min + ((dy_min % 2 + 2) % 2);  // round up to even
+    for (int dy = dy_start; pblock.y1 + dy < device.height(); dy += 2) {
+      anchors.emplace_back(dx, dy);
+    }
+  }
+  return anchors;
+}
+
+}  // namespace fpgasim

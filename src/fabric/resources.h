@@ -1,0 +1,61 @@
+// Resource accounting vector: LUTs, flip-flops, carry chains, DSP48 slices
+// and BRAM36 blocks. Used for tile capacities, netlist footprints, pblock
+// budgets and utilization reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpgasim {
+
+struct ResourceVec {
+  std::int64_t lut = 0;
+  std::int64_t ff = 0;
+  std::int64_t carry = 0;
+  std::int64_t dsp = 0;
+  std::int64_t bram = 0;
+
+  ResourceVec& operator+=(const ResourceVec& o) {
+    lut += o.lut;
+    ff += o.ff;
+    carry += o.carry;
+    dsp += o.dsp;
+    bram += o.bram;
+    return *this;
+  }
+  ResourceVec& operator-=(const ResourceVec& o) {
+    lut -= o.lut;
+    ff -= o.ff;
+    carry -= o.carry;
+    dsp -= o.dsp;
+    bram -= o.bram;
+    return *this;
+  }
+  friend ResourceVec operator+(ResourceVec a, const ResourceVec& b) { return a += b; }
+  friend ResourceVec operator-(ResourceVec a, const ResourceVec& b) { return a -= b; }
+  friend ResourceVec operator*(ResourceVec a, std::int64_t k) {
+    a.lut *= k;
+    a.ff *= k;
+    a.carry *= k;
+    a.dsp *= k;
+    a.bram *= k;
+    return a;
+  }
+  friend bool operator==(const ResourceVec&, const ResourceVec&) = default;
+
+  /// True if every component of *this is <= the corresponding one in cap.
+  bool fits_in(const ResourceVec& cap) const {
+    return lut <= cap.lut && ff <= cap.ff && carry <= cap.carry && dsp <= cap.dsp &&
+           bram <= cap.bram;
+  }
+
+  bool is_zero() const { return *this == ResourceVec{}; }
+
+  std::string to_string() const {
+    return "lut=" + std::to_string(lut) + " ff=" + std::to_string(ff) +
+           " carry=" + std::to_string(carry) + " dsp=" + std::to_string(dsp) +
+           " bram=" + std::to_string(bram);
+  }
+};
+
+}  // namespace fpgasim

@@ -1,0 +1,172 @@
+#include "flow/build.h"
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "flow/compose.h"
+#include "synth/layers.h"
+#include "util/thread_pool.h"
+
+namespace fpgasim {
+namespace {
+
+/// True if group[pos + 1] is a relu layer to fuse into group[pos].
+bool fused_relu_follows(const CnnModel& model, const std::vector<int>& group,
+                        std::size_t pos) {
+  if (pos + 1 >= group.size()) return false;
+  return model.layers()[static_cast<std::size_t>(group[pos + 1])].kind == LayerKind::kRelu;
+}
+
+Netlist build_layer(const CnnModel& model, const ModelImpl& impl, int layer_idx,
+                    bool fuse_relu, std::uint64_t seed_base) {
+  const Layer& layer = model.layers()[static_cast<std::size_t>(layer_idx)];
+  const LayerImpl& li = impl.layers[static_cast<std::size_t>(layer_idx)];
+  const std::uint64_t wseed = seed_base + static_cast<std::uint64_t>(layer_idx) * 2;
+
+  switch (layer.kind) {
+    case LayerKind::kConv: {
+      ConvParams p;
+      p.name = layer.name;
+      p.in_c = layer.in_shape.c;
+      p.out_c = layer.out_c;
+      p.kernel = layer.kernel;
+      p.stride = layer.stride;
+      p.in_h = li.tile_h > 0 ? li.tile_h : layer.in_shape.h;
+      p.in_w = li.tile_w > 0 ? li.tile_w : layer.in_shape.w;
+      p.ic_par = li.ic_par;
+      p.oc_par = li.oc_par;
+      p.fuse_relu = fuse_relu || layer.fuse_relu;
+      p.materialize_roms = li.materialize;
+      p.weight_buffer_ocg = li.weight_buffer_ocg;
+      std::vector<Fixed16> weights, bias;
+      if (li.materialize) {
+        weights = synth_params(
+            static_cast<std::size_t>(layer.out_c) * layer.in_shape.c * layer.kernel *
+                layer.kernel,
+            wseed);
+        bias = synth_params(static_cast<std::size_t>(layer.out_c), wseed + 1);
+      }
+      return make_conv_component(p, weights, bias);
+    }
+    case LayerKind::kFc: {
+      const int inputs = static_cast<int>(layer.in_shape.volume());
+      std::vector<Fixed16> weights, bias;
+      if (li.materialize) {
+        weights = synth_params(static_cast<std::size_t>(layer.out_c) * inputs, wseed);
+        bias = synth_params(static_cast<std::size_t>(layer.out_c), wseed + 1);
+      }
+      return make_fc_component(layer.name, inputs, layer.out_c, weights, bias, li.ic_par,
+                               li.oc_par, li.materialize, li.weight_buffer_ocg);
+    }
+    case LayerKind::kPool: {
+      PoolParams p;
+      p.name = layer.name;
+      p.channels = layer.in_shape.c;
+      p.kernel = layer.kernel;
+      p.in_h = li.tile_h > 0 ? li.tile_h : layer.in_shape.h;
+      p.in_w = li.tile_w > 0 ? li.tile_w : layer.in_shape.w;
+      p.fuse_relu = fuse_relu || layer.fuse_relu;
+      return make_pool_component(p);
+    }
+    case LayerKind::kRelu:
+      return make_relu_component(layer.name);
+    case LayerKind::kInput:
+      break;
+  }
+  throw std::runtime_error("build_layer: layer '" + layer.name + "' is not synthesizable");
+}
+
+}  // namespace
+
+Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
+                            const std::vector<int>& group, std::uint64_t seed_base) {
+  std::vector<Netlist> stages;
+  std::string name;
+  for (std::size_t pos = 0; pos < group.size(); ++pos) {
+    const Layer& layer = model.layers()[static_cast<std::size_t>(group[pos])];
+    if (layer.kind == LayerKind::kRelu && pos > 0) continue;  // fused into predecessor
+    const bool fuse = fused_relu_follows(model, group, pos);
+    stages.push_back(build_layer(model, impl, group[pos], fuse, seed_base));
+    if (!name.empty()) name += "+";
+    name += layer.name;
+    if (fuse) name += "_relu";
+  }
+  if (stages.size() == 1) {
+    stages[0].set_name(name);
+    return std::move(stages[0]);
+  }
+  std::vector<const Netlist*> pointers;
+  pointers.reserve(stages.size());
+  for (const Netlist& stage : stages) pointers.push_back(&stage);
+  return stitch_chain(pointers, name);
+}
+
+std::string group_signature(const CnnModel& model, const ModelImpl& impl,
+                            const std::vector<int>& group, std::uint64_t seed_base) {
+  std::ostringstream os;
+  for (std::size_t pos = 0; pos < group.size(); ++pos) {
+    const Layer& layer = model.layers()[static_cast<std::size_t>(group[pos])];
+    const LayerImpl& li = impl.layers[static_cast<std::size_t>(group[pos])];
+    if (pos > 0) os << "__";
+    os << to_string(layer.kind) << "_i" << layer.in_shape.c << "x" << layer.in_shape.h << "x"
+       << layer.in_shape.w << "_o" << layer.out_c << "_k" << layer.kernel << "s"
+       << layer.stride << "_p" << li.ic_par << "x" << li.oc_par;
+    if (li.tile_h > 0) os << "_t" << li.tile_h << "x" << li.tile_w;
+    if (layer.fuse_relu || fused_relu_follows(model, group, pos)) os << "_r";
+    // Materialized ROMs bake layer-specific weights into the checkpoint,
+    // so the seed becomes part of the identity.
+    if ((layer.kind == LayerKind::kConv || layer.kind == LayerKind::kFc) && li.materialize) {
+      os << "_w" << seed_base + static_cast<std::uint64_t>(group[pos]) * 2;
+    }
+  }
+  return os.str();
+}
+
+std::size_t prepare_component_db(const Device& device, const CnnModel& model,
+                                 const ModelImpl& impl,
+                                 const std::vector<std::vector<int>>& groups,
+                                 CheckpointDb& db, const OocOptions& ooc,
+                                 std::uint64_t seed_base) {
+  // Deduplicate signatures first: replicated layers are implemented once.
+  std::vector<std::string> missing_keys;
+  std::vector<const std::vector<int>*> missing_groups;
+  for (const auto& group : groups) {
+    std::string key = group_signature(model, impl, group, seed_base);
+    if (db.contains(key)) continue;
+    bool queued = false;
+    for (const std::string& other : missing_keys) queued |= (other == key);
+    if (queued) continue;
+    missing_keys.push_back(std::move(key));
+    missing_groups.push_back(&group);
+  }
+
+  // Function optimization is embarrassingly parallel across components.
+  std::mutex db_mutex;
+  parallel_for(0, missing_keys.size(), [&](std::size_t i) {
+    Netlist netlist = build_group_netlist(model, impl, *missing_groups[i], seed_base);
+    OocOptions local = ooc;
+    local.seed = ooc.seed + i * 131;
+    OocResult result = implement_ooc(device, std::move(netlist), local);
+    std::lock_guard<std::mutex> lock(db_mutex);
+    db.put(missing_keys[i], std::move(result.checkpoint));
+  });
+  return missing_keys.size();
+}
+
+Netlist build_flat_netlist(const CnnModel& model, const ModelImpl& impl,
+                           const std::vector<std::vector<int>>& groups,
+                           std::uint64_t seed_base) {
+  std::vector<Netlist> components;
+  components.reserve(groups.size());
+  for (const auto& group : groups) {
+    components.push_back(build_group_netlist(model, impl, group, seed_base));
+  }
+  std::vector<const Netlist*> pointers;
+  pointers.reserve(components.size());
+  for (const Netlist& component : components) pointers.push_back(&component);
+  Netlist flat = stitch_chain(pointers, model.name() + "_flat");
+  return flat;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,45 @@
+// Bridges CNN models to the synthesis generators: builds per-group
+// component netlists (granularity exploration output), computes component
+// signatures for database reuse, and pre-populates the checkpoint database
+// (the offline function-optimization stage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn/impl.h"
+#include "cnn/model.h"
+#include "flow/checkpoint_db.h"
+#include "flow/ooc.h"
+#include "netlist/netlist.h"
+
+namespace fpgasim {
+
+/// Synthesizes the netlist of one component group (conv/pool/fc layers,
+/// relus fused). Weight seeds follow reference_inference so functional
+/// simulation of the composed accelerator matches the golden model.
+Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
+                            const std::vector<int>& group, std::uint64_t seed_base = 1000);
+
+/// Signature used as the checkpoint-database key. Identical layer
+/// configurations (e.g. VGG's replicated 3x3 convolutions) share one
+/// signature and therefore one pre-implemented checkpoint.
+std::string group_signature(const CnnModel& model, const ModelImpl& impl,
+                            const std::vector<int>& group, std::uint64_t seed_base = 1000);
+
+/// Ensures every group of `groups` has a checkpoint in `db`, implementing
+/// the missing ones OOC (in parallel across components). Returns the
+/// number of components actually implemented (cache misses).
+std::size_t prepare_component_db(const Device& device, const CnnModel& model,
+                                 const ModelImpl& impl,
+                                 const std::vector<std::vector<int>>& groups,
+                                 CheckpointDb& db, const OocOptions& ooc = {},
+                                 std::uint64_t seed_base = 1000);
+
+/// Synthesizes the whole model as one flat netlist (the baseline flow's
+/// input): all group netlists chained.
+Netlist build_flat_netlist(const CnnModel& model, const ModelImpl& impl,
+                           const std::vector<std::vector<int>>& groups,
+                           std::uint64_t seed_base = 1000);
+
+}  // namespace fpgasim

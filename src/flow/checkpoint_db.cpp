@@ -1,0 +1,62 @@
+#include "flow/checkpoint_db.h"
+
+#include <filesystem>
+
+namespace fpgasim {
+
+void CheckpointDb::put(const std::string& key, Checkpoint checkpoint) {
+  entries_[key] = std::move(checkpoint);
+}
+
+const Checkpoint* CheckpointDb::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> CheckpointDb::keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) keys.push_back(key);
+  return keys;
+}
+
+double CheckpointDb::total_implement_seconds() const {
+  double total = 0.0;
+  for (const auto& [key, checkpoint] : entries_) {
+    total += checkpoint.meta.implement_seconds;
+  }
+  return total;
+}
+
+namespace {
+
+std::string sanitize(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-')) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckpointDb::save_dir(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& [key, checkpoint] : entries_) {
+    save_checkpoint(dir + "/" + sanitize(key) + ".fdcp", checkpoint);
+  }
+}
+
+std::size_t CheckpointDb::load_dir(const std::string& dir) {
+  std::size_t loaded = 0;
+  if (!std::filesystem::is_directory(dir)) return 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fdcp") continue;
+    Checkpoint checkpoint = load_checkpoint(entry.path().string());
+    entries_[entry.path().stem().string()] = std::move(checkpoint);
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,41 @@
+// Database of pre-built checkpoints (paper Fig. 3, "Database of pre-built
+// checkpoints"). Keyed by a component signature so identical layers are
+// implemented exactly once and reused across networks; optionally persists
+// to a directory of .fdcp files.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/checkpoint.h"
+
+namespace fpgasim {
+
+class CheckpointDb {
+ public:
+  bool contains(const std::string& key) const { return entries_.count(key) != 0; }
+
+  /// Stores (or replaces) a checkpoint under `key`.
+  void put(const std::string& key, Checkpoint checkpoint);
+
+  /// Fetches a checkpoint; nullptr when absent.
+  const Checkpoint* get(const std::string& key) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::vector<std::string> keys() const;
+
+  /// Total offline function-optimization time recorded in the database.
+  double total_implement_seconds() const;
+
+  /// Persists every entry as <dir>/<key>.fdcp (key sanitized).
+  void save_dir(const std::string& dir) const;
+  /// Loads every *.fdcp in `dir`; returns the number loaded.
+  std::size_t load_dir(const std::string& dir);
+
+ private:
+  std::map<std::string, Checkpoint> entries_;
+};
+
+}  // namespace fpgasim

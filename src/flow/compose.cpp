@@ -1,0 +1,140 @@
+#include "flow/compose.h"
+
+#include "synth/layers.h"
+
+#include <stdexcept>
+
+namespace fpgasim {
+
+void alias_net(Netlist& netlist, NetId driverless, NetId driven) {
+  if (driverless == driven) return;
+  Net& dead = netlist.net(driverless);
+  if (dead.driver != kInvalidCell) {
+    throw std::runtime_error("alias_net: net '" + dead.name + "' has a driver");
+  }
+  Net& live = netlist.net(driven);
+  for (const auto& [cell, pin] : dead.sinks) {
+    netlist.cell(cell).inputs[pin] = driven;
+    live.sinks.emplace_back(cell, pin);
+  }
+  dead.sinks.clear();
+}
+
+void ComposedDesign::translate_instance(std::size_t index, int dx, int dy) {
+  const Instance& inst = instances[index];
+  for (CellId c = inst.cell_offset; c < inst.cell_end; ++c) {
+    TileCoord& loc = phys.cell_loc[c];
+    if (loc == kUnplaced) continue;
+    loc.x += dx;
+    loc.y += dy;
+  }
+  for (NetId n = inst.net_offset; n < inst.net_end; ++n) {
+    for (auto& [a, b] : phys.routes[n].edges) {
+      a.x += dx;
+      a.y += dy;
+      b.x += dx;
+      b.y += dy;
+    }
+  }
+  instances[index].footprint = inst.footprint.translated(dx, dy);
+}
+
+std::vector<MacroItem> ComposedDesign::macro_items() const {
+  std::vector<MacroItem> items;
+  items.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    items.push_back(MacroItem{inst.name, inst.footprint});
+  }
+  return items;
+}
+
+Composer::Composer(std::string top_name) { design_.netlist.set_name(std::move(top_name)); }
+
+int Composer::add_instance(const Checkpoint& checkpoint, const std::string& instance_name,
+                           std::size_t source_index) {
+  const auto [cell_offset, net_offset] = design_.netlist.merge(checkpoint.netlist);
+  design_.phys.append(checkpoint.phys);
+
+  ComposedDesign::Instance inst;
+  inst.name = instance_name;
+  inst.source = source_index;
+  inst.cell_offset = cell_offset;
+  inst.cell_end = static_cast<CellId>(design_.netlist.cell_count());
+  inst.net_offset = net_offset;
+  inst.net_end = static_cast<NetId>(design_.netlist.net_count());
+  inst.footprint = checkpoint.pblock;
+  design_.instances.push_back(inst);
+
+  std::vector<Port> ports = checkpoint.netlist.ports();
+  for (Port& port : ports) port.net += net_offset;
+  instance_ports_.push_back(std::move(ports));
+  return static_cast<int>(design_.instances.size()) - 1;
+}
+
+NetId Composer::port_net(int instance, const std::string& port_name) const {
+  for (const Port& port : instance_ports_[static_cast<std::size_t>(instance)]) {
+    if (port.name == port_name) return port.net;
+  }
+  throw std::runtime_error("composer: instance '" +
+                           design_.instances[static_cast<std::size_t>(instance)].name +
+                           "' has no port '" + port_name + "'");
+}
+
+void Composer::connect(int from, int to) {
+  // Data/valid flow downstream; ready flows back upstream.
+  alias_net(design_.netlist, port_net(to, "in_data"), port_net(from, "out_data"));
+  alias_net(design_.netlist, port_net(to, "in_valid"), port_net(from, "out_valid"));
+  alias_net(design_.netlist, port_net(from, "out_ready"), port_net(to, "in_ready"));
+  design_.macro_nets.push_back(MacroNet{{from, to}, 1.0});
+}
+
+void Composer::expose_input(int instance) {
+  Netlist& nl = design_.netlist;
+  nl.add_port(Port{"in_data", PortDir::kInput, kDataW, port_net(instance, "in_data")});
+  nl.add_port(Port{"in_valid", PortDir::kInput, 1, port_net(instance, "in_valid")});
+  nl.add_port(Port{"in_ready", PortDir::kOutput, 1, port_net(instance, "in_ready")});
+}
+
+void Composer::expose_output(int instance) {
+  Netlist& nl = design_.netlist;
+  nl.add_port(
+      Port{"out_data", PortDir::kOutput, kDataW, port_net(instance, "out_data")});
+  nl.add_port(Port{"out_valid", PortDir::kOutput, 1, port_net(instance, "out_valid")});
+  nl.add_port(Port{"out_ready", PortDir::kInput, 1, port_net(instance, "out_ready")});
+}
+
+ComposedDesign Composer::finish() && { return std::move(design_); }
+
+Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::string& name) {
+  Netlist top(name);
+  std::vector<std::vector<Port>> ports;
+  PhysState unused;
+  for (const Netlist* stage : stages) {
+    const auto [cell_offset, net_offset] = top.merge(*stage);
+    (void)cell_offset;
+    std::vector<Port> adjusted = stage->ports();
+    for (Port& port : adjusted) port.net += net_offset;
+    ports.push_back(std::move(adjusted));
+  }
+  auto find = [&](std::size_t stage, const std::string& port_name) -> NetId {
+    for (const Port& port : ports[stage]) {
+      if (port.name == port_name) return port.net;
+    }
+    throw std::runtime_error("stitch_chain: stage missing port '" + port_name + "'");
+  };
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+    alias_net(top, find(s + 1, "in_data"), find(s, "out_data"));
+    alias_net(top, find(s + 1, "in_valid"), find(s, "out_valid"));
+    alias_net(top, find(s, "out_ready"), find(s + 1, "in_ready"));
+  }
+  top.add_port(Port{"in_data", PortDir::kInput, kDataW, find(0, "in_data")});
+  top.add_port(Port{"in_valid", PortDir::kInput, 1, find(0, "in_valid")});
+  top.add_port(Port{"in_ready", PortDir::kOutput, 1, find(0, "in_ready")});
+  const std::size_t last = stages.size() - 1;
+  top.add_port(Port{"out_data", PortDir::kOutput, kDataW, find(last, "out_data")});
+  top.add_port(Port{"out_valid", PortDir::kOutput, 1, find(last, "out_valid")});
+  top.add_port(Port{"out_ready", PortDir::kInput, 1, find(last, "out_ready")});
+  return top;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,80 @@
+// Architecture composition: instantiates pre-implemented checkpoints as
+// filled black boxes inside a top-level design and stitches their stream
+// interfaces by inserting nets into the netlist (Sec. IV-B3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/pblock.h"
+#include "netlist/checkpoint.h"
+#include "netlist/netlist.h"
+#include "netlist/phys.h"
+#include "place/macro_placer.h"
+
+namespace fpgasim {
+
+/// Rewires every sink of `driverless` (an input-port net with no driver)
+/// onto `driven`, merging the two nets. The driverless net becomes dead.
+void alias_net(Netlist& netlist, NetId driverless, NetId driven);
+
+struct ComposedDesign {
+  Netlist netlist;
+  PhysState phys;
+
+  struct Instance {
+    std::string name;
+    std::size_t source = 0;     // index of the checkpoint it was filled from
+    CellId cell_offset = 0;
+    CellId cell_end = 0;
+    NetId net_offset = 0;
+    NetId net_end = 0;
+    Pblock footprint;           // as implemented (pre-relocation)
+  };
+  std::vector<Instance> instances;
+
+  /// Component-level DFG edges for the relocation placer.
+  std::vector<MacroNet> macro_nets;
+
+  /// Translates one instance's placement and routes by (dx, dy).
+  void translate_instance(std::size_t index, int dx, int dy);
+
+  /// MacroItem view of the instances.
+  std::vector<MacroItem> macro_items() const;
+};
+
+/// Builds compositions. Checkpoints passed to add_instance must stay alive
+/// until finish().
+class Composer {
+ public:
+  explicit Composer(std::string top_name);
+
+  /// Adds a black-box instance filled with `checkpoint`; returns its index.
+  int add_instance(const Checkpoint& checkpoint, const std::string& instance_name,
+                   std::size_t source_index = 0);
+
+  /// Stream-connects instance `from` to instance `to`:
+  /// out_data/out_valid -> in_data/in_valid, in_ready -> out_ready.
+  void connect(int from, int to);
+
+  /// Exposes `instance`'s input stream as top-level ports
+  /// (in_data/in_valid/in_ready).
+  void expose_input(int instance);
+  /// Exposes `instance`'s output stream as top-level ports.
+  void expose_output(int instance);
+
+  ComposedDesign finish() &&;
+
+ private:
+  NetId port_net(int instance, const std::string& port_name) const;
+
+  ComposedDesign design_;
+  std::vector<std::vector<Port>> instance_ports_;  // offset-adjusted copies
+};
+
+/// Convenience: functionally stitches a linear chain of *unimplemented*
+/// netlists into one flat netlist with the standard stream interface.
+/// Used to form multi-layer components ahead of OOC implementation.
+Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::string& name);
+
+}  // namespace fpgasim

@@ -1,0 +1,103 @@
+#include "flow/preimpl.h"
+
+#include <stdexcept>
+
+#include "flow/build.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace fpgasim {
+
+PreImplReport run_preimpl_flow(const Device& device,
+                               const std::vector<const Checkpoint*>& chain,
+                               const std::vector<std::string>& instance_names,
+                               ComposedDesign& out, const PreImplOptions& opt) {
+  if (chain.empty()) throw std::invalid_argument("run_preimpl_flow: empty chain");
+  PreImplReport report;
+  Stopwatch total;
+
+  // Architecture composition: fill black boxes, insert the stream nets.
+  Stopwatch stage;
+  Composer composer("preimpl_top");
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    composer.add_instance(*chain[i],
+                          i < instance_names.size() ? instance_names[i]
+                                                    : "inst" + std::to_string(i),
+                          i);
+    report.function_opt_seconds += chain[i]->meta.implement_seconds;
+    if (chain[i]->meta.fmax_mhz > 0.0 &&
+        (report.slowest_component_mhz == 0.0 ||
+         chain[i]->meta.fmax_mhz < report.slowest_component_mhz)) {
+      report.slowest_component_mhz = chain[i]->meta.fmax_mhz;
+      report.slowest_component = chain[i]->netlist.name();
+    }
+  }
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    composer.connect(static_cast<int>(i), static_cast<int>(i + 1));
+  }
+  composer.expose_input(0);
+  composer.expose_output(static_cast<int>(chain.size()) - 1);
+  out = std::move(composer).finish();
+  report.stitch_seconds = stage.seconds();
+
+  // Component placement: relocation of locked pblocks (Algorithm 1).
+  stage.restart();
+  MacroPlaceOptions macro_opt = opt.macro;
+  macro_opt.seed = opt.seed;
+  report.macro = place_macros(device, out.macro_items(), out.macro_nets, macro_opt);
+  if (!report.macro.success) {
+    throw std::runtime_error("pre-implemented flow: " + report.macro.error);
+  }
+  for (std::size_t i = 0; i < out.instances.size(); ++i) {
+    out.translate_instance(i, report.macro.offsets[i].first,
+                           report.macro.offsets[i].second);
+  }
+  report.place_seconds = stage.seconds();
+
+  // Inter-component routing: only the stitched nets are open; everything
+  // inside the components is locked and merely charges wire usage.
+  stage.restart();
+  RouteOptions route_opt = opt.route;
+  route_opt.seed = opt.seed;
+  report.route = route_design(device, out.netlist, out.phys, route_opt);
+  if (!report.route.success) {
+    throw std::runtime_error("pre-implemented flow: routing failed: " + report.route.error);
+  }
+  report.route_seconds = stage.seconds();
+
+  stage.restart();
+  report.timing = run_sta(out.netlist, out.phys, device);
+  report.sta_seconds = stage.seconds();
+
+  report.stats = out.netlist.stats();
+  report.total_seconds = total.seconds();
+  LOG_DEBUG("preimpl '%s': %s, %.2fs online (stitch %.0f%%, place %.2f, route %.2f)",
+            out.netlist.name().c_str(), report.timing.summary().c_str(),
+            report.total_seconds, report.stitch_fraction() * 100.0, report.place_seconds,
+            report.route_seconds);
+  return report;
+}
+
+PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
+                              const ModelImpl& impl,
+                              const std::vector<std::vector<int>>& groups,
+                              const CheckpointDb& db, ComposedDesign& out,
+                              const PreImplOptions& opt, std::uint64_t seed_base) {
+  // Component extraction + matching (BFS over the chain DFG): every group
+  // must resolve to a pre-built checkpoint.
+  std::vector<const Checkpoint*> chain;
+  std::vector<std::string> names;
+  for (const auto& group : groups) {
+    const std::string key = group_signature(model, impl, group, seed_base);
+    const Checkpoint* checkpoint = db.get(key);
+    if (checkpoint == nullptr) {
+      throw std::runtime_error("component matching failed: no checkpoint for '" + key +
+                               "' (run prepare_component_db first)");
+    }
+    chain.push_back(checkpoint);
+    names.push_back(checkpoint->netlist.name());
+  }
+  return run_preimpl_flow(device, chain, names, out, opt);
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,70 @@
+// Architecture optimization (paper Sec. IV-B): the fully automated stage
+// that turns a chain of pre-implemented checkpoints into a working
+// accelerator — component extraction/matching against the database,
+// black-box stitching, relocation placement (Alg. 1) and inter-component
+// routing. Stage wall times feed Fig. 6 (and the 5%/9% stitching share).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn/impl.h"
+#include "cnn/model.h"
+#include "fabric/device.h"
+#include "flow/checkpoint_db.h"
+#include "flow/compose.h"
+#include "place/macro_placer.h"
+#include "route/router.h"
+#include "timing/sta.h"
+
+namespace fpgasim {
+
+struct PreImplOptions {
+  std::uint64_t seed = 1;
+  MacroPlaceOptions macro;
+  RouteOptions route;
+};
+
+struct PreImplReport {
+  // Architecture-optimization stage times (online).
+  double stitch_seconds = 0.0;  // extraction + matching + composition
+  double place_seconds = 0.0;   // component relocation placement
+  double route_seconds = 0.0;   // inter-component routing
+  double sta_seconds = 0.0;
+  double total_seconds = 0.0;
+  // Offline function-optimization time recorded in the checkpoints used
+  // (performed exactly once per unique component; reported separately).
+  double function_opt_seconds = 0.0;
+
+  NetlistStats stats;
+  TimingResult timing;
+  RouteResult route;
+  MacroPlaceResult macro;
+
+  double slowest_component_mhz = 0.0;
+  std::string slowest_component;
+
+  /// The paper's observation: stitching is a small share of the flow.
+  double stitch_fraction() const {
+    return total_seconds > 0.0 ? stitch_seconds / total_seconds : 0.0;
+  }
+};
+
+/// Runs the pre-implemented flow over an ordered chain of checkpoints
+/// (component instances, first = network input). The composed design is
+/// returned through `out` for further use (simulation, inspection).
+PreImplReport run_preimpl_flow(const Device& device,
+                               const std::vector<const Checkpoint*>& chain,
+                               const std::vector<std::string>& instance_names,
+                               ComposedDesign& out, const PreImplOptions& opt = {});
+
+/// CNN front end: matches each group against the database (component
+/// matching) and runs the flow over the resulting chain.
+PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
+                              const ModelImpl& impl,
+                              const std::vector<std::vector<int>>& groups,
+                              const CheckpointDb& db, ComposedDesign& out,
+                              const PreImplOptions& opt = {},
+                              std::uint64_t seed_base = 1000);
+
+}  // namespace fpgasim

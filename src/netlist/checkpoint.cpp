@@ -1,0 +1,248 @@
+#include "netlist/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace fpgasim {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46444350;  // "FDCP"
+constexpr std::uint32_t kVersion = 2;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
+    if (!out_) throw std::runtime_error("cannot open for write: " + path);
+  }
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void check() const {
+    if (!out_) throw std::runtime_error("checkpoint write failed");
+  }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  }
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("cannot open for read: " + path);
+  }
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint16_t u16() { return read<std::uint16_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+  double f64() { return read<double>(); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    std::string s(len, '\0');
+    raw(s.data(), len);
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T read() {
+    T v{};
+    raw(&v, sizeof(v));
+    return v;
+  }
+  void raw(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in_) throw std::runtime_error("checkpoint truncated");
+  }
+  std::ifstream in_;
+};
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& cp) {
+  Writer w(path);
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.str(cp.netlist.name());
+
+  const Netlist& nl = cp.netlist;
+  w.u32(static_cast<std::uint32_t>(nl.cell_count()));
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cell = nl.cell(c);
+    w.u8(static_cast<std::uint8_t>(cell.type));
+    w.u8(static_cast<std::uint8_t>(cell.op));
+    w.u16(cell.width);
+    w.u16(cell.depth);
+    w.u8(cell.stages);
+    w.u8(cell.placement_locked ? 1 : 0);
+    w.u32(cell.bram_depth);
+    w.u64(cell.init);
+    w.i32(cell.rom_id);
+    w.u32(static_cast<std::uint32_t>(cell.inputs.size()));
+    for (NetId in : cell.inputs) w.u32(in);
+    w.u32(static_cast<std::uint32_t>(cell.outputs.size()));
+    for (NetId out : cell.outputs) w.u32(out);
+    w.str(cell.name);
+  }
+  w.u32(static_cast<std::uint32_t>(nl.net_count()));
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(n);
+    w.u32(net.driver);
+    w.u16(net.driver_pin);
+    w.u16(net.width);
+    w.u8(net.routing_locked ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(net.sinks.size()));
+    for (const auto& [cell, pin] : net.sinks) {
+      w.u32(cell);
+      w.u16(pin);
+    }
+    w.str(net.name);
+  }
+  w.u32(static_cast<std::uint32_t>(nl.ports().size()));
+  for (const Port& port : nl.ports()) {
+    w.str(port.name);
+    w.u8(static_cast<std::uint8_t>(port.dir));
+    w.u16(port.width);
+    w.u32(port.net);
+  }
+  w.u32(static_cast<std::uint32_t>(nl.rom_count()));
+  for (std::size_t r = 0; r < nl.rom_count(); ++r) {
+    const auto& rom = nl.rom(static_cast<std::int32_t>(r));
+    w.u32(static_cast<std::uint32_t>(rom.size()));
+    for (std::uint64_t word : rom) w.u64(word);
+  }
+
+  // Physical state.
+  w.u32(static_cast<std::uint32_t>(cp.phys.cell_loc.size()));
+  for (const TileCoord& loc : cp.phys.cell_loc) {
+    w.i32(loc.x);
+    w.i32(loc.y);
+  }
+  w.u32(static_cast<std::uint32_t>(cp.phys.routes.size()));
+  for (const RouteInfo& route : cp.phys.routes) {
+    w.u8(route.routed ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(route.edges.size()));
+    for (const auto& [a, b] : route.edges) {
+      w.i32(a.x);
+      w.i32(a.y);
+      w.i32(b.x);
+      w.i32(b.y);
+    }
+    w.u32(static_cast<std::uint32_t>(route.sink_delays_ns.size()));
+    for (double d : route.sink_delays_ns) w.f64(d);
+  }
+
+  w.i32(cp.pblock.x0);
+  w.i32(cp.pblock.y0);
+  w.i32(cp.pblock.x1);
+  w.i32(cp.pblock.y1);
+  w.f64(cp.meta.fmax_mhz);
+  w.f64(cp.meta.critical_path_ns);
+  w.f64(cp.meta.implement_seconds);
+  w.str(cp.meta.strategy);
+  w.str(cp.meta.device);
+  w.check();
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  Reader r(path);
+  if (r.u32() != kMagic) throw std::runtime_error("not an fdcp file: " + path);
+  if (r.u32() != kVersion) throw std::runtime_error("fdcp version mismatch: " + path);
+
+  Checkpoint cp;
+  cp.netlist.set_name(r.str());
+  Netlist& nl = cp.netlist;
+
+  const std::uint32_t num_cells = r.u32();
+  for (std::uint32_t c = 0; c < num_cells; ++c) {
+    Cell cell;
+    cell.type = static_cast<CellType>(r.u8());
+    cell.op = static_cast<LutOp>(r.u8());
+    cell.width = r.u16();
+    cell.depth = r.u16();
+    cell.stages = r.u8();
+    cell.placement_locked = r.u8() != 0;
+    cell.bram_depth = r.u32();
+    cell.init = r.u64();
+    cell.rom_id = r.i32();
+    cell.inputs.resize(r.u32());
+    for (NetId& in : cell.inputs) in = r.u32();
+    cell.outputs.resize(r.u32());
+    for (NetId& out : cell.outputs) out = r.u32();
+    cell.name = r.str();
+    nl.add_cell(std::move(cell));
+  }
+  const std::uint32_t num_nets = r.u32();
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    const NetId id = nl.add_net(1);
+    Net& net = nl.net(id);
+    net.driver = r.u32();
+    net.driver_pin = r.u16();
+    net.width = r.u16();
+    net.routing_locked = r.u8() != 0;
+    net.sinks.resize(r.u32());
+    for (auto& [cell, pin] : net.sinks) {
+      cell = r.u32();
+      pin = r.u16();
+    }
+    net.name = r.str();
+  }
+  const std::uint32_t num_ports = r.u32();
+  for (std::uint32_t p = 0; p < num_ports; ++p) {
+    Port port;
+    port.name = r.str();
+    port.dir = static_cast<PortDir>(r.u8());
+    port.width = r.u16();
+    port.net = r.u32();
+    nl.add_port(std::move(port));
+  }
+  const std::uint32_t num_roms = r.u32();
+  for (std::uint32_t i = 0; i < num_roms; ++i) {
+    std::vector<std::uint64_t> rom(r.u32());
+    for (std::uint64_t& word : rom) word = r.u64();
+    nl.add_rom(std::move(rom));
+  }
+
+  cp.phys.cell_loc.resize(r.u32());
+  for (TileCoord& loc : cp.phys.cell_loc) {
+    loc.x = r.i32();
+    loc.y = r.i32();
+  }
+  cp.phys.routes.resize(r.u32());
+  for (RouteInfo& route : cp.phys.routes) {
+    route.routed = r.u8() != 0;
+    route.edges.resize(r.u32());
+    for (auto& [a, b] : route.edges) {
+      a.x = r.i32();
+      a.y = r.i32();
+      b.x = r.i32();
+      b.y = r.i32();
+    }
+    route.sink_delays_ns.resize(r.u32());
+    for (double& d : route.sink_delays_ns) d = r.f64();
+  }
+
+  cp.pblock.x0 = r.i32();
+  cp.pblock.y0 = r.i32();
+  cp.pblock.x1 = r.i32();
+  cp.pblock.y1 = r.i32();
+  cp.meta.fmax_mhz = r.f64();
+  cp.meta.critical_path_ns = r.f64();
+  cp.meta.implement_seconds = r.f64();
+  cp.meta.strategy = r.str();
+  cp.meta.device = r.str();
+  return cp;
+}
+
+}  // namespace fpgasim

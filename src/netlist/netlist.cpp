@@ -1,0 +1,209 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace fpgasim {
+
+const char* to_string(CellType type) {
+  switch (type) {
+    case CellType::kConst: return "CONST";
+    case CellType::kLut: return "LUT";
+    case CellType::kFf: return "FF";
+    case CellType::kSrl: return "SRL";
+    case CellType::kAdd: return "ADD";
+    case CellType::kMax: return "MAX";
+    case CellType::kRelu: return "RELU";
+    case CellType::kDsp: return "DSP48";
+    case CellType::kBram: return "BRAM";
+  }
+  return "?";
+}
+
+const char* to_string(LutOp op) {
+  switch (op) {
+    case LutOp::kAnd: return "AND";
+    case LutOp::kOr: return "OR";
+    case LutOp::kXor: return "XOR";
+    case LutOp::kNot: return "NOT";
+    case LutOp::kMux2: return "MUX2";
+    case LutOp::kEq: return "EQ";
+    case LutOp::kLtU: return "LTU";
+    case LutOp::kPass: return "PASS";
+    case LutOp::kTruth6: return "TRUTH6";
+  }
+  return "?";
+}
+
+NetId Netlist::add_net(std::uint16_t width, std::string name) {
+  Net net;
+  net.width = width;
+  net.name = std::move(name);
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::add_cell(Cell cell) {
+  cells_.push_back(std::move(cell));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+std::size_t Netlist::add_port(Port port) {
+  ports_.push_back(std::move(port));
+  return ports_.size() - 1;
+}
+
+std::int32_t Netlist::add_rom(std::vector<std::uint64_t> words) {
+  roms_.push_back(std::move(words));
+  return static_cast<std::int32_t>(roms_.size() - 1);
+}
+
+void Netlist::connect_input(CellId cell, std::uint16_t pin, NetId net) {
+  Cell& c = cells_[cell];
+  if (c.inputs.size() <= pin) c.inputs.resize(pin + 1, kInvalidNet);
+  c.inputs[pin] = net;
+  nets_[net].sinks.emplace_back(cell, pin);
+}
+
+void Netlist::connect_output(CellId cell, std::uint16_t pin, NetId net) {
+  Cell& c = cells_[cell];
+  if (c.outputs.size() <= pin) c.outputs.resize(pin + 1, kInvalidNet);
+  c.outputs[pin] = net;
+  nets_[net].driver = cell;
+  nets_[net].driver_pin = pin;
+}
+
+const Port* Netlist::find_port(const std::string& name) const {
+  for (const Port& port : ports_) {
+    if (port.name == name) return &port;
+  }
+  return nullptr;
+}
+
+ResourceVec Netlist::cell_footprint(const Cell& cell) {
+  const std::int64_t w = cell.width;
+  switch (cell.type) {
+    case CellType::kConst:
+      return {};
+    case CellType::kLut:
+      // kMux2 costs one LUT per bit (LUT6 fits a 2:1 mux); comparators and
+      // wide gates likewise one LUT level per bit.
+      return {.lut = w};
+    case CellType::kFf:
+      return {.ff = w};
+    case CellType::kSrl: {
+      // SRL16: 16 stages per LUT per bit.
+      const std::int64_t per_bit = (cell.depth + 15) / 16;
+      return {.lut = per_bit * w};
+    }
+    case CellType::kAdd:
+      return {.lut = w, .carry = (w + 7) / 8};
+    case CellType::kMax:
+      // Compare (carry chain) plus select mux.
+      return {.lut = 2 * w, .carry = (w + 7) / 8};
+    case CellType::kRelu:
+      return {.lut = w};
+    case CellType::kDsp:
+      return {.dsp = 1};
+    case CellType::kBram: {
+      const std::int64_t bits = static_cast<std::int64_t>(cell.bram_depth) * w;
+      return {.bram = std::max<std::int64_t>(1, (bits + 36 * 1024 - 1) / (36 * 1024))};
+    }
+  }
+  return {};
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats stats;
+  stats.cells = cells_.size();
+  stats.nets = nets_.size();
+  stats.ports = ports_.size();
+  for (const Cell& cell : cells_) stats.resources += cell_footprint(cell);
+  return stats;
+}
+
+void Netlist::lock_all() {
+  for (Cell& cell : cells_) cell.placement_locked = true;
+  for (Net& net : nets_) net.routing_locked = true;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  std::vector<bool> is_input_port_net(nets_.size(), false);
+  for (const Port& port : ports_) {
+    if (port.net == kInvalidNet || port.net >= nets_.size()) {
+      problems.push_back("port '" + port.name + "' has invalid net");
+      continue;
+    }
+    if (port.dir == PortDir::kInput) is_input_port_net[port.net] = true;
+    if (nets_[port.net].width != port.width) {
+      problems.push_back("port '" + port.name + "' width mismatch with its net");
+    }
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.driver == kInvalidCell) {
+      if (!is_input_port_net[n] && !net.sinks.empty()) {
+        problems.push_back("net #" + std::to_string(n) + " ('" + net.name +
+                           "') has sinks but no driver");
+      }
+    } else if (net.driver >= cells_.size()) {
+      problems.push_back("net #" + std::to_string(n) + " has out-of-range driver");
+    } else {
+      const Cell& drv = cells_[net.driver];
+      if (net.driver_pin >= drv.outputs.size() || drv.outputs[net.driver_pin] != n) {
+        problems.push_back("net #" + std::to_string(n) + " driver pin inconsistent");
+      }
+    }
+    for (const auto& [cell, pin] : net.sinks) {
+      if (cell >= cells_.size()) {
+        problems.push_back("net #" + std::to_string(n) + " has out-of-range sink");
+      } else if (pin >= cells_[cell].inputs.size() || cells_[cell].inputs[pin] != n) {
+        problems.push_back("net #" + std::to_string(n) + " sink pin inconsistent");
+      }
+    }
+  }
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    const Cell& cell = cells_[c];
+    for (NetId in : cell.inputs) {
+      if (in != kInvalidNet && in >= nets_.size()) {
+        problems.push_back("cell #" + std::to_string(c) + " input net out of range");
+      }
+    }
+    if (cell.type == CellType::kBram && cell.rom_id >= 0 &&
+        static_cast<std::size_t>(cell.rom_id) >= roms_.size()) {
+      problems.push_back("cell #" + std::to_string(c) + " rom_id out of range");
+    }
+  }
+  return problems;
+}
+
+std::pair<CellId, NetId> Netlist::merge(const Netlist& other) {
+  const CellId cell_offset = static_cast<CellId>(cells_.size());
+  const NetId net_offset = static_cast<NetId>(nets_.size());
+  const std::int32_t rom_offset = static_cast<std::int32_t>(roms_.size());
+
+  roms_.insert(roms_.end(), other.roms_.begin(), other.roms_.end());
+
+  cells_.reserve(cells_.size() + other.cells_.size());
+  for (const Cell& src : other.cells_) {
+    Cell cell = src;
+    for (NetId& in : cell.inputs) {
+      if (in != kInvalidNet) in += net_offset;
+    }
+    for (NetId& out : cell.outputs) {
+      if (out != kInvalidNet) out += net_offset;
+    }
+    if (cell.rom_id >= 0) cell.rom_id += rom_offset;
+    cells_.push_back(std::move(cell));
+  }
+  nets_.reserve(nets_.size() + other.nets_.size());
+  for (const Net& src : other.nets_) {
+    Net net = src;
+    if (net.driver != kInvalidCell) net.driver += cell_offset;
+    for (auto& [cell, pin] : net.sinks) cell += cell_offset;
+    nets_.push_back(std::move(net));
+  }
+  return {cell_offset, net_offset};
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,60 @@
+// Physical implementation state attached to a netlist: cell placements and
+// routed nets. Translation-invariant so a locked component can be relocated
+// to any column-compatible anchor without re-place/re-route.
+#pragma once
+
+#include <vector>
+
+#include "fabric/device.h"
+#include "netlist/netlist.h"
+
+namespace fpgasim {
+
+inline constexpr TileCoord kUnplaced{-1, -1};
+
+/// Routed tree of one net: occupied channel edges plus per-sink delays
+/// (aligned with Net::sinks). Delays are invariant under translation.
+struct RouteInfo {
+  bool routed = false;
+  std::vector<std::pair<TileCoord, TileCoord>> edges;
+  std::vector<double> sink_delays_ns;
+};
+
+struct PhysState {
+  std::vector<TileCoord> cell_loc;  // aligned with Netlist cells
+  std::vector<RouteInfo> routes;    // aligned with Netlist nets
+
+  void resize_for(const Netlist& netlist) {
+    cell_loc.resize(netlist.cell_count(), kUnplaced);
+    routes.resize(netlist.net_count());
+  }
+
+  bool is_placed(CellId cell) const {
+    return !(cell_loc[cell] == kUnplaced);
+  }
+
+  /// Shifts every placed cell and routed edge by (dx, dy).
+  void translate(int dx, int dy) {
+    for (TileCoord& loc : cell_loc) {
+      if (loc == kUnplaced) continue;
+      loc.x += dx;
+      loc.y += dy;
+    }
+    for (RouteInfo& route : routes) {
+      for (auto& [a, b] : route.edges) {
+        a.x += dx;
+        a.y += dy;
+        b.x += dx;
+        b.y += dy;
+      }
+    }
+  }
+
+  /// Appends `other` (aligned with a netlist that was merge()d into ours).
+  void append(const PhysState& other) {
+    cell_loc.insert(cell_loc.end(), other.cell_loc.begin(), other.cell_loc.end());
+    routes.insert(routes.end(), other.routes.begin(), other.routes.end());
+  }
+};
+
+}  // namespace fpgasim

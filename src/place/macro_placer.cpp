@@ -1,0 +1,313 @@
+#include "place/macro_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+TileCoord center_of(const Pblock& block) {
+  return TileCoord{(block.x0 + block.x1) / 2, (block.y0 + block.y1) / 2};
+}
+
+/// Eq. (1): HPWL between component centers, weighted per net.
+double timing_cost(const std::vector<MacroNet>& nets, const std::vector<Pblock>& placed,
+                   const std::vector<bool>& is_placed) {
+  double cost = 0.0;
+  for (const MacroNet& net : nets) {
+    int min_x = 1 << 30, max_x = -(1 << 30), min_y = 1 << 30, max_y = -(1 << 30);
+    int present = 0;
+    for (std::int32_t item : net.items) {
+      if (!is_placed[static_cast<std::size_t>(item)]) continue;
+      const TileCoord c = center_of(placed[static_cast<std::size_t>(item)]);
+      min_x = std::min(min_x, c.x);
+      max_x = std::max(max_x, c.x);
+      min_y = std::min(min_y, c.y);
+      max_y = std::max(max_y, c.y);
+      ++present;
+    }
+    if (present >= 2) cost += net.weight * ((max_x - min_x) + (max_y - min_y));
+  }
+  return cost;
+}
+
+/// Eq. (2)/(3): counts tiles covered by the bounding boxes of more than one
+/// inter-component net (routing demand piling up in the same region),
+/// normalized by the total covered area.
+double congestion_cost(const std::vector<MacroNet>& nets, const std::vector<Pblock>& placed,
+                       const std::vector<bool>& is_placed, const Device& device) {
+  // Coarse 8x8-tile congestion grid keeps this O(area / 64).
+  constexpr int kGrid = 8;
+  const int gw = (device.width() + kGrid - 1) / kGrid;
+  const int gh = (device.height() + kGrid - 1) / kGrid;
+  std::vector<int> cover(static_cast<std::size_t>(gw) * gh, 0);
+  int boxes = 0;
+  for (const MacroNet& net : nets) {
+    int min_x = 1 << 30, max_x = -(1 << 30), min_y = 1 << 30, max_y = -(1 << 30);
+    int present = 0;
+    for (std::int32_t item : net.items) {
+      if (!is_placed[static_cast<std::size_t>(item)]) continue;
+      const TileCoord c = center_of(placed[static_cast<std::size_t>(item)]);
+      min_x = std::min(min_x, c.x);
+      max_x = std::max(max_x, c.x);
+      min_y = std::min(min_y, c.y);
+      max_y = std::max(max_y, c.y);
+      ++present;
+    }
+    if (present < 2) continue;
+    ++boxes;
+    for (int gx = min_x / kGrid; gx <= max_x / kGrid; ++gx) {
+      for (int gy = min_y / kGrid; gy <= max_y / kGrid; ++gy) {
+        ++cover[static_cast<std::size_t>(gy) * gw + gx];
+      }
+    }
+  }
+  if (boxes == 0) return 0.0;
+  double overlaps = 0.0, covered = 0.0;
+  for (int c : cover) {
+    if (c > 0) covered += 1.0;
+    if (c > 1) overlaps += c - 1;
+  }
+  return covered > 0.0 ? overlaps / covered : 0.0;
+}
+
+}  // namespace
+
+MacroPlaceResult place_macros(const Device& device, const std::vector<MacroItem>& items,
+                              const std::vector<MacroNet>& nets,
+                              const MacroPlaceOptions& opt) {
+  MacroPlaceResult result;
+  const std::size_t n = items.size();
+  result.offsets.assign(n, {0, 0});
+  result.placed.assign(n, Pblock{});
+  if (n == 0) {
+    result.success = true;
+    return result;
+  }
+
+  // Legal anchors per item (column-compatible, parity preserving).
+  std::vector<std::vector<std::pair<int, int>>> anchors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    anchors[i] = relocation_offsets(device, items[i].footprint);
+    if (anchors[i].empty()) {
+      result.error = "component '" + items[i].name + "' has no legal anchor";
+      return result;
+    }
+  }
+
+  // BFS order over the DFG from item 0 (Algorithm 1).
+  std::vector<std::vector<std::int32_t>> adj(n);
+  for (const MacroNet& net : nets) {
+    for (std::size_t a = 0; a < net.items.size(); ++a) {
+      for (std::size_t b = a + 1; b < net.items.size(); ++b) {
+        adj[static_cast<std::size_t>(net.items[a])].push_back(net.items[b]);
+        adj[static_cast<std::size_t>(net.items[b])].push_back(net.items[a]);
+      }
+    }
+  }
+  std::vector<std::int32_t> bfs;
+  std::vector<bool> seen(n, false);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    std::size_t head = bfs.size();
+    bfs.push_back(static_cast<std::int32_t>(root));
+    seen[root] = true;
+    while (head < bfs.size()) {
+      const std::int32_t v = bfs[head++];
+      for (std::int32_t w : adj[static_cast<std::size_t>(v)]) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = true;
+          bfs.push_back(w);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> is_placed(n, false);
+  std::vector<int> anchor_cursor(n, 0);  // next candidate to try on backtrack
+  Rng rng(opt.seed);
+
+  // Ranks anchors for item `i`. Mode 0: distance to the centroid of its
+  // placed neighbours (timing-driven). Mode 1/2: bottom-left / left-bottom
+  // packing order (dense restarts when the greedy fragments the die).
+  auto rank_anchors = [&](std::size_t i, int mode) {
+    TileCoord target{device.width() / 2, device.height() / 2};
+    int neighbours = 0;
+    long sx = 0, sy = 0;
+    for (const MacroNet& net : nets) {
+      bool mine = false;
+      for (std::int32_t item : net.items) mine |= (item == static_cast<std::int32_t>(i));
+      if (!mine) continue;
+      for (std::int32_t item : net.items) {
+        if (item == static_cast<std::int32_t>(i) ||
+            !is_placed[static_cast<std::size_t>(item)]) {
+          continue;
+        }
+        const TileCoord c = center_of(result.placed[static_cast<std::size_t>(item)]);
+        sx += c.x;
+        sy += c.y;
+        ++neighbours;
+      }
+    }
+    if (neighbours > 0) {
+      target = TileCoord{static_cast<int>(sx / neighbours), static_cast<int>(sy / neighbours)};
+    }
+    std::vector<std::pair<int, int>>& list = anchors[i];
+    const TileCoord base = center_of(items[i].footprint);
+    std::stable_sort(list.begin(), list.end(), [&](const auto& a, const auto& b) {
+      if (mode == 1) {
+        return std::pair(a.second, a.first) < std::pair(b.second, b.first);
+      }
+      if (mode == 2) {
+        return a < b;
+      }
+      const int da = std::abs(base.x + a.first - target.x) + std::abs(base.y + a.second - target.y);
+      const int db = std::abs(base.x + b.first - target.x) + std::abs(base.y + b.second - target.y);
+      return da < db;
+    });
+  };
+
+  auto place_one = [&](std::size_t i, int skip_best, int mode) -> bool {
+    rank_anchors(i, mode);
+    const auto& cand = anchors[i];
+    const int limit = std::min<int>(static_cast<int>(cand.size()), opt.max_candidates);
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_idx = -1;
+    int valid = 0;  // non-overlapping anchors encountered
+    for (int k = 0; k < limit; ++k) {
+      const Pblock moved = items[i].footprint.translated(cand[static_cast<std::size_t>(k)].first,
+                                                         cand[static_cast<std::size_t>(k)].second);
+      bool overlap = false;
+      for (std::size_t j = 0; j < n && !overlap; ++j) {
+        if (is_placed[j] && moved.overlaps(result.placed[j])) overlap = true;
+      }
+      if (overlap) continue;
+      // Backtracking: genuinely skip the choices already tried so retries
+      // explore new anchors instead of re-picking the same one.
+      if (valid++ < skip_best) continue;
+      result.placed[i] = moved;
+      is_placed[i] = true;
+      const double tc = timing_cost(nets, result.placed, is_placed);
+      const double cc = congestion_cost(nets, result.placed, is_placed, device);
+      is_placed[i] = false;
+      const double cost = opt.timing_weight * tc + opt.congestion_weight * cc;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_idx = k;
+      }
+      if (valid > skip_best + 24) break;  // bounded scan past the cursor
+    }
+    if (best_idx < 0) return false;
+    result.offsets[i] = anchors[i][static_cast<std::size_t>(best_idx)];
+    result.placed[i] = items[i].footprint.translated(result.offsets[i].first,
+                                                     result.offsets[i].second);
+    is_placed[i] = true;
+    return true;
+  };
+
+  // Last-resort packer: first-fit decreasing by area, bottom-left anchors,
+  // no cost gate. Used only when every cost-driven attempt fragments the
+  // die; guarantees a placement whenever one is greedily packable.
+  auto first_fit_decreasing = [&]() -> bool {
+    std::fill(is_placed.begin(), is_placed.end(), false);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return items[a].footprint.area() > items[b].footprint.area();
+    });
+    for (std::size_t i : order) {
+      std::vector<std::pair<int, int>> cand = anchors[i];
+      std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+        return std::pair(a.second, a.first) < std::pair(b.second, b.first);
+      });
+      bool placed = false;
+      for (const auto& [dx, dy] : cand) {
+        const Pblock moved = items[i].footprint.translated(dx, dy);
+        bool overlap = false;
+        for (std::size_t j = 0; j < n && !overlap; ++j) {
+          if (is_placed[j] && moved.overlaps(result.placed[j])) overlap = true;
+        }
+        if (overlap) continue;
+        result.placed[i] = moved;
+        result.offsets[i] = {dx, dy};
+        is_placed[i] = true;
+        placed = true;
+        break;
+      }
+      if (!placed) {
+        result.error = "macro placement failed for '" + items[i].name + "'";
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Main BFS placement loop with bounded unplace-and-retry; on outright
+  // failure, restart with a denser packing order (bottom-left skyline),
+  // and finally fall back to pure packing.
+  for (int mode = 0; mode < 4; ++mode) {
+    if (mode == 3) {
+      if (!first_fit_decreasing()) return result;
+      result.timing_cost = timing_cost(nets, result.placed, is_placed);
+      result.congestion_cost = congestion_cost(nets, result.placed, is_placed, device);
+      result.success = true;
+      result.error.clear();
+      LOG_DEBUG("place_macros: fell back to first-fit packing (%d backtracks)",
+                result.backtracks);
+      return result;
+    }
+    std::fill(is_placed.begin(), is_placed.end(), false);
+    std::fill(anchor_cursor.begin(), anchor_cursor.end(), 0);
+    double threshold = opt.accept_threshold;
+    bool failed = false;
+    std::string fail_component;
+    for (std::size_t pos = 0; pos < bfs.size();) {
+      const std::size_t i = static_cast<std::size_t>(bfs[pos]);
+      const bool ok = place_one(i, anchor_cursor[i], mode);
+      if (ok) {
+        const double tc = timing_cost(nets, result.placed, is_placed);
+        const double cc = congestion_cost(nets, result.placed, is_placed, device);
+        const double cost =
+            opt.timing_weight * tc / std::max<std::size_t>(1, pos + 1) +
+            opt.congestion_weight * cc;
+        if (cost <= threshold || pos == 0) {
+          ++pos;
+          continue;
+        }
+        is_placed[i] = false;  // cost gate failed: treat as placement failure
+      }
+      if (result.backtracks >= opt.max_backtracks * (mode + 1) || pos == 0) {
+        threshold *= 1.5;  // relax the gate rather than fail outright
+        ++result.backtracks;
+        if (result.backtracks > opt.max_backtracks * (mode + 1) + 16) {
+          failed = true;
+          fail_component = items[i].name;
+          break;
+        }
+        continue;
+      }
+      // Backtrack: unplace the previous component and advance its cursor.
+      ++result.backtracks;
+      const std::size_t prev = static_cast<std::size_t>(bfs[pos - 1]);
+      is_placed[prev] = false;
+      ++anchor_cursor[prev];
+      anchor_cursor[i] = 0;
+      --pos;
+    }
+    if (!failed) {
+      result.timing_cost = timing_cost(nets, result.placed, is_placed);
+      result.congestion_cost = congestion_cost(nets, result.placed, is_placed, device);
+      result.success = true;
+      result.error.clear();
+      return result;
+    }
+    result.error = "macro placement failed for '" + fail_component + "'";
+  }
+  return result;
+}
+
+}  // namespace fpgasim

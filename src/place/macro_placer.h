@@ -1,0 +1,55 @@
+// Relocation placer for pre-implemented components (paper Sec. IV-B4,
+// Algorithm 1, Eqs. (1)-(3)).
+//
+// Each component arrives placed-and-routed inside its pblock; legal
+// positions are the column-compatible anchors computed by the fabric
+// layer. Components are placed in BFS order over the architecture DFG; an
+// anchor is accepted when the combined timing (HPWL) and congestion
+// (tile-overlap) cost is below threshold, otherwise previously placed
+// components are unplaced and retried (bounded backtracking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/pblock.h"
+
+namespace fpgasim {
+
+struct MacroItem {
+  std::string name;
+  Pblock footprint;  // at the coordinates the component was implemented in
+};
+
+/// Component-level connection (stream edges of the DFG).
+struct MacroNet {
+  std::vector<std::int32_t> items;
+  double weight = 1.0;
+};
+
+struct MacroPlaceOptions {
+  std::uint64_t seed = 1;
+  double timing_weight = 1.0;
+  double congestion_weight = 24.0;
+  double accept_threshold = 48.0;  // per-component cost gate (Sec. IV-B4)
+  int max_candidates = 1600;       // anchors evaluated per component
+  int max_backtracks = 96;
+};
+
+struct MacroPlaceResult {
+  bool success = false;
+  std::vector<std::pair<int, int>> offsets;  // (dx, dy) per item
+  std::vector<Pblock> placed;                // translated footprints
+  double timing_cost = 0.0;      // Eq. (1): sum of inter-component HPWL
+  double congestion_cost = 0.0;  // Eq. (3): normalized overlap coefficient
+  int backtracks = 0;
+  std::string error;
+};
+
+MacroPlaceResult place_macros(const Device& device, const std::vector<MacroItem>& items,
+                              const std::vector<MacroNet>& nets,
+                              const MacroPlaceOptions& opt = MacroPlaceOptions{});
+
+}  // namespace fpgasim

@@ -1,0 +1,361 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/log.h"
+
+namespace fpgasim {
+namespace {
+
+struct Graph {
+  int w = 0, h = 0;
+  RouteOptions opt;
+  // Undirected edge arrays: horizontal (x,y)-(x+1,y) and vertical
+  // (x,y)-(x,y+1).
+  std::vector<std::int16_t> use_h, use_v;
+  std::vector<float> hist_h, hist_v;
+  std::vector<float> base_h, base_v;
+
+  Graph(const Device& device, const RouteOptions& options, const DelayModel& dm)
+      : w(device.width()), h(device.height()), opt(options) {
+    use_h.assign(static_cast<std::size_t>(w - 1) * h, 0);
+    use_v.assign(static_cast<std::size_t>(w) * (h - 1), 0);
+    hist_h.assign(use_h.size(), 0.f);
+    hist_v.assign(use_v.size(), 0.f);
+    base_h.assign(use_h.size(), 0.f);
+    base_v.assign(use_v.size(), 0.f);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w - 1; ++x) {
+        double d = dm.wire_per_tile;
+        if (device.column_type(x + 1) == ColumnType::kIo) d += dm.wire_discontinuity;
+        base_h[h_idx(x, y)] = static_cast<float>(d);
+      }
+    }
+    for (int y = 0; y < h - 1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        base_v[v_idx(x, y)] = static_cast<float>(dm.wire_per_tile);
+      }
+    }
+  }
+
+  std::size_t h_idx(int x, int y) const { return static_cast<std::size_t>(y) * (w - 1) + x; }
+  std::size_t v_idx(int x, int y) const { return static_cast<std::size_t>(y) * w + x; }
+  int node(int x, int y) const { return y * w + x; }
+
+  /// Negotiated cost of traversing one edge in the current iteration.
+  double edge_cost(bool horizontal, std::size_t idx, double pressure) const {
+    const float base = horizontal ? base_h[idx] : base_v[idx];
+    const float hist = horizontal ? hist_h[idx] : hist_v[idx];
+    const int use = horizontal ? use_h[idx] : use_v[idx];
+    const int over = std::max(0, use + 1 - opt.channel_capacity);
+    return base * (1.0 + hist) * (1.0 + pressure * over);
+  }
+
+  /// Final (post-negotiation) delay of an edge including congestion slowdown.
+  double edge_delay(bool horizontal, std::size_t idx) const {
+    const float base = horizontal ? base_h[idx] : base_v[idx];
+    const int use = horizontal ? use_h[idx] : use_v[idx];
+    const double load = static_cast<double>(use) / opt.channel_capacity;
+    return base * (1.0 + opt.congestion_delay_factor * load * load);
+  }
+};
+
+struct PqEntry {
+  double f;
+  double g;
+  int node;
+  bool operator<(const PqEntry& o) const { return f > o.f; }  // min-heap
+};
+
+}  // namespace
+
+RouteResult route_design(const Device& device, const Netlist& netlist, PhysState& phys,
+                         const RouteOptions& opt, const DelayModel& dm) {
+  RouteResult result;
+  phys.resize_for(netlist);
+  Graph graph(device, opt, dm);
+  const int w = graph.w, h = graph.h;
+
+  // Charge usage of locked / pre-routed nets.
+  auto charge = [&](const RouteInfo& route, int delta) {
+    for (const auto& [a, b] : route.edges) {
+      if (a.y == b.y) {
+        graph.use_h[graph.h_idx(std::min(a.x, b.x), a.y)] =
+            static_cast<std::int16_t>(graph.use_h[graph.h_idx(std::min(a.x, b.x), a.y)] + delta);
+      } else {
+        graph.use_v[graph.v_idx(a.x, std::min(a.y, b.y))] =
+            static_cast<std::int16_t>(graph.use_v[graph.v_idx(a.x, std::min(a.y, b.y))] + delta);
+      }
+    }
+  };
+  // Collect the nets to route: terminals as tile nodes.
+  struct Job {
+    NetId net = kInvalidNet;
+    int driver_node = -1;
+    std::vector<int> sink_nodes;           // deduplicated, still to reach
+    std::vector<int> sink_node_of_sink;    // per netlist sink: its node
+    // Partial nets (stitched component ports): the locked part of the
+    // route tree plus the delays of the sinks it already serves.
+    std::vector<std::pair<TileCoord, TileCoord>> seed_edges;
+    std::vector<double> old_delays;
+  };
+  std::vector<Job> jobs;
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.net(n);
+    const RouteInfo& existing = phys.routes[n];
+    const bool partial = existing.routed && existing.sink_delays_ns.size() < net.sinks.size();
+    if (existing.routed && !partial) {
+      charge(existing, +1);  // fully locked: usage only
+      continue;
+    }
+    if (!partial && net.routing_locked) continue;
+    if (net.sinks.empty()) continue;
+
+    TileCoord driver_loc = kUnplaced;
+    if (net.driver != kInvalidCell) {
+      driver_loc = phys.cell_loc[net.driver];
+    } else if (auto it = opt.fixed_terminals.find(n); it != opt.fixed_terminals.end()) {
+      driver_loc = it->second;
+    }
+    if (driver_loc == kUnplaced) continue;  // unplaced endpoints: STA estimates
+
+    Job job;
+    job.net = n;
+    job.driver_node = graph.node(driver_loc.x, driver_loc.y);
+    if (partial) {
+      job.seed_edges = existing.edges;
+      job.old_delays = existing.sink_delays_ns;
+    }
+    job.sink_node_of_sink.reserve(net.sinks.size());
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const TileCoord loc = phys.cell_loc[net.sinks[s].first];
+      if (loc == kUnplaced) {
+        job.sink_node_of_sink.push_back(-1);
+        continue;
+      }
+      const int node = graph.node(loc.x, loc.y);
+      job.sink_node_of_sink.push_back(node);
+      if (s < job.old_delays.size()) continue;  // already served by the seed
+      if (node != job.driver_node &&
+          std::find(job.sink_nodes.begin(), job.sink_nodes.end(), node) ==
+              job.sink_nodes.end()) {
+        job.sink_nodes.push_back(node);
+      }
+    }
+    // Extra fixed terminal (partition pin) routes like one more sink.
+    if (net.driver != kInvalidCell) {
+      if (auto it = opt.fixed_terminals.find(n); it != opt.fixed_terminals.end()) {
+        const int node = graph.node(it->second.x, it->second.y);
+        if (node != job.driver_node &&
+            std::find(job.sink_nodes.begin(), job.sink_nodes.end(), node) ==
+                job.sink_nodes.end()) {
+          job.sink_nodes.push_back(node);
+        }
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // Per-job routing state kept across iterations for rip-up.
+  std::vector<RouteInfo> job_routes(jobs.size());
+
+  // A* scratch (epoch-stamped to avoid per-search clears).
+  std::vector<double> dist(static_cast<std::size_t>(w) * h, 0.0);
+  std::vector<int> stamp(static_cast<std::size_t>(w) * h, -1);
+  std::vector<int> parent(static_cast<std::size_t>(w) * h, -1);
+  std::vector<int> target_stamp(static_cast<std::size_t>(w) * h, -1);
+  int epoch = 0;
+
+  auto route_job = [&](Job& job, RouteInfo& route, double pressure) {
+    route.edges = job.seed_edges;
+    route.sink_delays_ns.clear();
+    // Grow a Steiner tree: tree nodes with accumulated delay from driver.
+    std::vector<std::pair<int, double>> tree{{job.driver_node, 0.0}};
+    std::vector<int> remaining = job.sink_nodes;
+    std::unordered_map<int, double> tree_delay;
+    tree_delay.emplace(job.driver_node, 0.0);
+
+    // Seed with the locked part of a partial net (BFS over its edges,
+    // accumulating delay outward from the driver).
+    if (!job.seed_edges.empty()) {
+      std::unordered_map<int, std::vector<int>> adjacency;
+      for (const auto& [a, b] : job.seed_edges) {
+        const int na = graph.node(a.x, a.y), nb = graph.node(b.x, b.y);
+        adjacency[na].push_back(nb);
+        adjacency[nb].push_back(na);
+      }
+      std::vector<int> frontier{job.driver_node};
+      while (!frontier.empty()) {
+        const int v = frontier.back();
+        frontier.pop_back();
+        const double dv = tree_delay[v];
+        for (int u : adjacency[v]) {
+          if (tree_delay.count(u)) continue;
+          const int vx = v % w, vy = v / w, ux = u % w, uy = u / w;
+          const bool horizontal = (vy == uy);
+          const std::size_t eidx = horizontal ? graph.h_idx(std::min(vx, ux), vy)
+                                              : graph.v_idx(vx, std::min(vy, uy));
+          const double du = dv + graph.edge_delay(horizontal, eidx);
+          tree_delay.emplace(u, du);
+          tree.emplace_back(u, du);
+          frontier.push_back(u);
+        }
+      }
+    }
+
+    while (!remaining.empty()) {
+      ++epoch;
+      for (int t : remaining) target_stamp[static_cast<std::size_t>(t)] = epoch;
+      // Admissible A* heuristic: distance to the nearest remaining target
+      // (disabled for very wide fanout where the min becomes expensive).
+      const bool use_heuristic = remaining.size() <= 8;
+      auto heuristic = [&](int node) -> double {
+        if (!use_heuristic) return 0.0;
+        const int x = node % w, y = node / w;
+        int best = 1 << 30;
+        for (int t : remaining) {
+          best = std::min(best, std::abs(x - t % w) + std::abs(y - t / w));
+        }
+        return best * dm.wire_per_tile;
+      };
+
+      std::priority_queue<PqEntry> pq;
+      // Multi-source: seed with every tree node at its true delay.
+      for (const auto& [node, delay] : tree) {
+        dist[static_cast<std::size_t>(node)] = delay;
+        stamp[static_cast<std::size_t>(node)] = epoch;
+        parent[static_cast<std::size_t>(node)] = -1;
+        pq.push({delay + heuristic(node), delay, node});
+      }
+
+      int reached = -1;
+      while (!pq.empty()) {
+        const PqEntry top = pq.top();
+        pq.pop();
+        if (top.g > dist[static_cast<std::size_t>(top.node)] + 1e-12) continue;
+        if (target_stamp[static_cast<std::size_t>(top.node)] == epoch) {
+          reached = top.node;
+          break;
+        }
+        const int x = top.node % w;
+        const int y = top.node / w;
+        auto relax = [&](int nx, int ny, bool horizontal, std::size_t eidx) {
+          const int nn = ny * w + nx;
+          const double ng = top.g + graph.edge_cost(horizontal, eidx, pressure);
+          if (stamp[static_cast<std::size_t>(nn)] != epoch ||
+              ng < dist[static_cast<std::size_t>(nn)] - 1e-12) {
+            stamp[static_cast<std::size_t>(nn)] = epoch;
+            dist[static_cast<std::size_t>(nn)] = ng;
+            parent[static_cast<std::size_t>(nn)] = top.node;
+            pq.push({ng + heuristic(nn), ng, nn});
+          }
+        };
+        const int x_lo = opt.bounded ? std::max(0, opt.region.x0) : 0;
+        const int x_hi = opt.bounded ? std::min(w - 1, opt.region.x1) : w - 1;
+        const int y_lo = opt.bounded ? std::max(0, opt.region.y0) : 0;
+        const int y_hi = opt.bounded ? std::min(h - 1, opt.region.y1) : h - 1;
+        if (x + 1 <= x_hi) relax(x + 1, y, true, graph.h_idx(x, y));
+        if (x - 1 >= x_lo) relax(x - 1, y, true, graph.h_idx(x - 1, y));
+        if (y + 1 <= y_hi) relax(x, y + 1, false, graph.v_idx(x, y));
+        if (y - 1 >= y_lo) relax(x, y - 1, false, graph.v_idx(x, y - 1));
+      }
+      if (reached < 0) return false;  // disconnected (cannot happen on a grid)
+
+      // Walk back, add path edges to the tree with *delay* accumulation.
+      std::vector<int> path;
+      for (int v = reached; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+        if (tree_delay.count(v)) break;
+      }
+      std::reverse(path.begin(), path.end());
+      double delay = tree_delay[path.front()];
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const int a = path[i - 1], b = path[i];
+        const int ax = a % w, ay = a / w, bx = b % w, by = b / w;
+        const bool horizontal = (ay == by);
+        const std::size_t eidx = horizontal ? graph.h_idx(std::min(ax, bx), ay)
+                                            : graph.v_idx(ax, std::min(ay, by));
+        delay += graph.edge_delay(horizontal, eidx);
+        route.edges.emplace_back(TileCoord{ax, ay}, TileCoord{bx, by});
+        if (!tree_delay.count(b)) {
+          tree_delay.emplace(b, delay);
+          tree.emplace_back(b, delay);
+        }
+      }
+      remaining.erase(std::remove(remaining.begin(), remaining.end(), reached),
+                      remaining.end());
+    }
+
+    // Per-sink delays in netlist sink order.
+    const Net& net = netlist.net(job.net);
+    route.sink_delays_ns.resize(net.sinks.size(), dm.wire_unplaced);
+    const double fanout_term =
+        dm.wire_per_fanout *
+        (net.sinks.size() > 1 ? static_cast<double>(net.sinks.size() - 1) : 0.0);
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      if (s < job.old_delays.size()) {
+        route.sink_delays_ns[s] = job.old_delays[s];  // locked internal sink
+        continue;
+      }
+      const int node = job.sink_node_of_sink[s];
+      if (node < 0) continue;
+      const auto it = tree_delay.find(node);
+      route.sink_delays_ns[s] =
+          dm.wire_base + (it != tree_delay.end() ? it->second : 0.0) + fanout_term;
+    }
+    route.routed = true;
+    return true;
+  };
+
+  // PathFinder negotiation.
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    const double pressure = opt.present_factor * (iter + 1);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (job_routes[j].routed) charge(job_routes[j], -1);
+      job_routes[j].routed = false;
+      if (!route_job(jobs[j], job_routes[j], pressure)) {
+        result.error = "unroutable net #" + std::to_string(jobs[j].net);
+        return result;
+      }
+      charge(job_routes[j], +1);
+    }
+    // Overuse accounting + history update.
+    int max_over = 0;
+    long over_edges = 0;
+    auto scan = [&](std::vector<std::int16_t>& use, std::vector<float>& hist) {
+      for (std::size_t e = 0; e < use.size(); ++e) {
+        const int over = use[e] - opt.channel_capacity;
+        if (over > 0) {
+          ++over_edges;
+          max_over = std::max(max_over, over);
+          hist[e] += static_cast<float>(opt.history_factor * over);
+        }
+      }
+    };
+    scan(graph.use_h, graph.hist_h);
+    scan(graph.use_v, graph.hist_v);
+    result.iterations = iter + 1;
+    result.max_overuse = max_over;
+    if (over_edges == 0) break;
+  }
+
+  // Commit: final delays already reflect the final usage snapshot closely
+  // enough; recompute per-sink delays once more with settled usage.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    RouteInfo& route = job_routes[j];
+    phys.routes[jobs[j].net] = route;
+    result.edges_used += route.edges.size();
+    result.total_wirelength += static_cast<double>(route.edges.size());
+    ++result.nets_routed;
+  }
+  result.success = true;
+  if (result.max_overuse > 0) {
+    LOG_DEBUG("router: residual overuse %d after %d iterations", result.max_overuse,
+              result.iterations);
+  }
+  return result;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,60 @@
+// Negotiated-congestion (PathFinder-style) router over a coarse per-tile
+// channel graph.
+//
+// Nodes are interconnect tiles; edges connect 4-neighbours with a fixed
+// wire capacity per direction. Crossing an IO column costs extra delay
+// (fabric discontinuities, Sec. V-E). Locked nets (pre-implemented
+// components) keep their recorded routes and only charge edge usage; the
+// inter-component routing step therefore only negotiates the unrouted
+// nets, which is exactly what makes the pre-implemented flow fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/pblock.h"
+#include "netlist/netlist.h"
+#include "netlist/phys.h"
+#include "timing/delay_model.h"
+
+namespace fpgasim {
+
+struct RouteOptions {
+  int channel_capacity = 14;  // wires per tile edge per direction
+  int max_iterations = 18;    // PathFinder negotiation rounds
+  double present_factor = 0.7;
+  double history_factor = 0.35;
+  double congestion_delay_factor = 0.25;  // slowdown on saturated edges
+  std::uint64_t seed = 1;
+  /// Extra terminal per net (partition pins of OOC ports): net -> tile.
+  std::unordered_map<NetId, TileCoord> fixed_terminals;
+  /// When set, the search never leaves this rectangle (OOC flow: keep all
+  /// component routing inside its pblock so relocation stays legal).
+  bool bounded = false;
+  Pblock region;
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  std::size_t nets_routed = 0;
+  std::size_t edges_used = 0;
+  int max_overuse = 0;
+  double total_wirelength = 0.0;
+  std::string error;
+};
+
+/// Routes every unrouted multi-terminal net in `netlist` whose endpoints
+/// are placed, writing RouteInfo (edges + per-sink delays) into `phys`.
+/// Locked/already-routed nets contribute their usage but are not ripped up.
+/// A routed net that has gained sinks without delays (a stitched component
+/// port) is extended incrementally from its existing route tree — the
+/// partition-pin continuation of the inter-component routing step.
+RouteResult route_design(const Device& device, const Netlist& netlist, PhysState& phys,
+                         const RouteOptions& opt = RouteOptions{},
+                         const DelayModel& dm = DelayModel{});
+
+}  // namespace fpgasim

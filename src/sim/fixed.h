@@ -1,0 +1,58 @@
+// 16-bit fixed-point numerics (Q8.8) matching the paper's "fixed 16"
+// precision. All datapaths — golden models, DSP behavioural model and the
+// CNN reference inference — share these exact semantics so netlist
+// simulation can be compared bit-for-bit against golden outputs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fpgasim {
+
+inline constexpr int kFixedFrac = 8;  // Q8.8
+
+struct Fixed16 {
+  std::int16_t raw = 0;
+
+  static Fixed16 from_raw(std::int32_t r) {
+    r = std::clamp<std::int32_t>(r, INT16_MIN, INT16_MAX);
+    return Fixed16{static_cast<std::int16_t>(r)};
+  }
+  static Fixed16 from_double(double v) {
+    return from_raw(static_cast<std::int32_t>(v * (1 << kFixedFrac)));
+  }
+  double to_double() const { return static_cast<double>(raw) / (1 << kFixedFrac); }
+
+  friend Fixed16 operator+(Fixed16 a, Fixed16 b) {
+    return from_raw(static_cast<std::int32_t>(a.raw) + b.raw);
+  }
+  friend Fixed16 operator-(Fixed16 a, Fixed16 b) {
+    return from_raw(static_cast<std::int32_t>(a.raw) - b.raw);
+  }
+  /// Multiply with product >> 8, i.e. the DSP48 P-port bit-select used by
+  /// the generated MAC units (truncation, not rounding).
+  friend Fixed16 operator*(Fixed16 a, Fixed16 b) {
+    const std::int32_t p = static_cast<std::int32_t>(a.raw) * b.raw;
+    return from_raw(p >> kFixedFrac);
+  }
+  friend bool operator==(Fixed16, Fixed16) = default;
+  friend auto operator<=>(Fixed16 a, Fixed16 b) { return a.raw <=> b.raw; }
+};
+
+inline Fixed16 fixed_max(Fixed16 a, Fixed16 b) { return a.raw >= b.raw ? a : b; }
+inline Fixed16 fixed_relu(Fixed16 a) { return a.raw > 0 ? a : Fixed16{0}; }
+
+/// Sign-extends the low `width` bits of v.
+inline std::int64_t sext(std::uint64_t v, int width) {
+  if (width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  v &= mask;
+  const std::uint64_t sign = 1ULL << (width - 1);
+  return static_cast<std::int64_t>((v ^ sign)) - static_cast<std::int64_t>(sign);
+}
+
+inline std::uint64_t mask_width(std::uint64_t v, int width) {
+  return width >= 64 ? v : (v & ((1ULL << width) - 1));
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,81 @@
+#include "sim/golden.h"
+
+#include <cassert>
+
+namespace fpgasim {
+
+Tensor golden_conv2d(const Tensor& input, const std::vector<Fixed16>& weights,
+                     const std::vector<Fixed16>& bias, int out_channels, int kernel,
+                     int stride) {
+  const int out_h = (input.height - kernel) / stride + 1;
+  const int out_w = (input.width - kernel) / stride + 1;
+  assert(weights.size() == static_cast<std::size_t>(out_channels) * input.channels * kernel *
+                               kernel);
+  assert(bias.size() == static_cast<std::size_t>(out_channels));
+  Tensor out = Tensor::zeros(out_channels, out_h, out_w);
+  for (int oc = 0; oc < out_channels; ++oc) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        Fixed16 acc = bias[static_cast<std::size_t>(oc)];
+        for (int ic = 0; ic < input.channels; ++ic) {
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              const Fixed16 w =
+                  weights[static_cast<std::size_t>(((oc * input.channels + ic) * kernel + ky) *
+                                                       kernel +
+                                                   kx)];
+              const Fixed16 v = input.at(ic, oy * stride + ky, ox * stride + kx);
+              acc = acc + w * v;
+            }
+          }
+        }
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor golden_maxpool(const Tensor& input, int kernel) {
+  const int out_h = input.height / kernel;
+  const int out_w = input.width / kernel;
+  Tensor out = Tensor::zeros(input.channels, out_h, out_w);
+  for (int c = 0; c < input.channels; ++c) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        Fixed16 best = input.at(c, oy * kernel, ox * kernel);
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            best = fixed_max(best, input.at(c, oy * kernel + ky, ox * kernel + kx));
+          }
+        }
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor golden_relu(const Tensor& input) {
+  Tensor out = input;
+  for (Fixed16& v : out.data) v = fixed_relu(v);
+  return out;
+}
+
+std::vector<Fixed16> golden_fc(const std::vector<Fixed16>& input,
+                               const std::vector<Fixed16>& weights,
+                               const std::vector<Fixed16>& bias, int outputs) {
+  assert(weights.size() == static_cast<std::size_t>(outputs) * input.size());
+  assert(bias.size() == static_cast<std::size_t>(outputs));
+  std::vector<Fixed16> out(static_cast<std::size_t>(outputs));
+  for (int o = 0; o < outputs; ++o) {
+    Fixed16 acc = bias[static_cast<std::size_t>(o)];
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      acc = acc + weights[static_cast<std::size_t>(o) * input.size() + i] * input[i];
+    }
+    out[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,49 @@
+// Golden (reference) CNN layer implementations in plain C++ with the same
+// Q8.8 fixed-point semantics as the generated hardware. Used to validate
+// netlist simulation and as the functional reference for the CNN library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/fixed.h"
+
+namespace fpgasim {
+
+/// Channel-major tensor: data[c][y * width + x].
+struct Tensor {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  std::vector<Fixed16> data;  // size == channels * height * width
+
+  Fixed16& at(int c, int y, int x) {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  Fixed16 at(int c, int y, int x) const {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  static Tensor zeros(int channels, int height, int width) {
+    Tensor t{channels, height, width, {}};
+    t.data.resize(static_cast<std::size_t>(channels) * height * width);
+    return t;
+  }
+};
+
+/// Valid-padding 2D convolution with square kernel and unit stride unless
+/// given. weights layout: [out_c][in_c][k*k]; bias per out channel.
+Tensor golden_conv2d(const Tensor& input, const std::vector<Fixed16>& weights,
+                     const std::vector<Fixed16>& bias, int out_channels, int kernel,
+                     int stride = 1);
+
+/// Non-overlapping k x k max pooling.
+Tensor golden_maxpool(const Tensor& input, int kernel);
+
+Tensor golden_relu(const Tensor& input);
+
+/// Fully-connected layer; weights layout [out][in], bias per output.
+std::vector<Fixed16> golden_fc(const std::vector<Fixed16>& input,
+                               const std::vector<Fixed16>& weights,
+                               const std::vector<Fixed16>& bias, int outputs);
+
+}  // namespace fpgasim

@@ -1,0 +1,242 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/fixed.h"
+
+namespace fpgasim {
+namespace {
+
+bool is_sequential(const Cell& cell) {
+  switch (cell.type) {
+    case CellType::kFf:
+    case CellType::kSrl:
+    case CellType::kBram:
+      return true;
+    case CellType::kDsp:
+      return cell.stages > 0;
+    default:
+      return false;
+  }
+}
+
+std::int64_t clamp_signed(std::int64_t v, int width) {
+  const std::int64_t hi = (1LL << (width - 1)) - 1;
+  const std::int64_t lo = -(1LL << (width - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  values_.assign(netlist_.net_count(), 0);
+  state_index_.assign(netlist_.cell_count(), -1);
+
+  // Collect sequential cells and allocate their state.
+  for (CellId c = 0; c < netlist_.cell_count(); ++c) {
+    const Cell& cell = netlist_.cell(c);
+    if (!is_sequential(cell)) continue;
+    seq_cells_.push_back(c);
+    if (cell.type == CellType::kBram) {
+      state_index_[c] = static_cast<std::int32_t>(mems_.size());
+      std::vector<std::uint64_t> mem(cell.bram_depth, 0);
+      if (cell.rom_id >= 0) {
+        const auto& rom = netlist_.rom(cell.rom_id);
+        for (std::size_t i = 0; i < mem.size() && i < rom.size(); ++i) {
+          mem[i] = mask_width(rom[i], cell.width);
+        }
+      }
+      mems_.push_back(std::move(mem));
+      // BRAM also needs a 1-deep pipe for the registered read value.
+      pipes_.emplace_back(1, 0);
+    } else {
+      state_index_[c] = static_cast<std::int32_t>(pipes_.size());
+      std::size_t depth = 1;
+      if (cell.type == CellType::kSrl) depth = cell.depth;
+      if (cell.type == CellType::kDsp) depth = cell.stages;
+      pipes_.emplace_back(std::max<std::size_t>(1, depth), 0);
+    }
+  }
+
+  // Topological order of combinational cells (Kahn).
+  std::vector<int> indegree(netlist_.cell_count(), 0);
+  std::vector<CellId> comb_cells;
+  for (CellId c = 0; c < netlist_.cell_count(); ++c) {
+    const Cell& cell = netlist_.cell(c);
+    if (is_sequential(cell)) continue;
+    comb_cells.push_back(c);
+    for (NetId in : cell.inputs) {
+      if (in == kInvalidNet) continue;
+      const Net& net = netlist_.net(in);
+      if (net.driver != kInvalidCell && !is_sequential(netlist_.cell(net.driver))) {
+        ++indegree[c];
+      }
+    }
+  }
+  std::queue<CellId> ready;
+  for (CellId c : comb_cells) {
+    if (indegree[c] == 0) ready.push(c);
+  }
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    comb_order_.push_back(c);
+    for (NetId out : netlist_.cell(c).outputs) {
+      if (out == kInvalidNet) continue;
+      for (const auto& [sink, pin] : netlist_.net(out).sinks) {
+        if (is_sequential(netlist_.cell(sink))) continue;
+        if (--indegree[sink] == 0) ready.push(sink);
+      }
+    }
+  }
+  if (comb_order_.size() != comb_cells.size()) {
+    throw std::runtime_error("simulator: combinational loop in netlist '" + netlist_.name() +
+                             "'");
+  }
+
+  // Sequential outputs start at 0; settle the combinational fabric.
+  settle();
+}
+
+std::uint64_t Simulator::in_val(const Cell& cell, std::size_t pin) const {
+  if (pin >= cell.inputs.size() || cell.inputs[pin] == kInvalidNet) return 0;
+  return values_[cell.inputs[pin]];
+}
+
+std::uint64_t Simulator::eval_cell(CellId cell_id) const {
+  const Cell& cell = netlist_.cell(cell_id);
+  const int w = cell.width;
+  const std::uint64_t a = in_val(cell, 0);
+  const std::uint64_t b = in_val(cell, 1);
+  switch (cell.type) {
+    case CellType::kConst:
+      return mask_width(cell.init, w);
+    case CellType::kLut:
+      switch (cell.op) {
+        case LutOp::kAnd: return mask_width(a & b, w);
+        case LutOp::kOr: return mask_width(a | b, w);
+        case LutOp::kXor: return mask_width(a ^ b, w);
+        case LutOp::kNot: return mask_width(~a, w);
+        case LutOp::kMux2: return mask_width((in_val(cell, 2) & 1) ? b : a, w);
+        case LutOp::kEq: return a == b ? 1 : 0;
+        case LutOp::kLtU: return a < b ? 1 : 0;
+        case LutOp::kPass: return mask_width(a, w);
+        case LutOp::kTruth6: {
+          std::uint64_t index = 0;
+          for (std::size_t i = 0; i < cell.inputs.size() && i < 6; ++i) {
+            index |= (in_val(cell, i) & 1) << i;
+          }
+          return (cell.init >> index) & 1;
+        }
+      }
+      return 0;
+    case CellType::kAdd: {
+      const bool sub = (cell.init & 1) != 0;
+      return mask_width(sub ? a - b : a + b, w);
+    }
+    case CellType::kMax: {
+      const std::int64_t sa = sext(a, w), sb = sext(b, w);
+      return mask_width(static_cast<std::uint64_t>(sa >= sb ? sa : sb), w);
+    }
+    case CellType::kRelu: {
+      const std::int64_t sa = sext(a, w);
+      return mask_width(static_cast<std::uint64_t>(sa > 0 ? sa : 0), w);
+    }
+    case CellType::kDsp: {
+      const int shift = static_cast<int>(cell.init & 0x3f);
+      const std::int64_t prod =
+          clamp_signed((sext(a, w) * sext(b, w)) >> shift, w);
+      const std::int64_t sum =
+          clamp_signed(prod + sext(in_val(cell, 2), w), w);
+      return mask_width(static_cast<std::uint64_t>(sum), w);
+    }
+    default:
+      return 0;  // sequential cells are not evaluated here
+  }
+}
+
+void Simulator::settle() {
+  for (CellId c : comb_order_) {
+    const Cell& cell = netlist_.cell(c);
+    if (cell.outputs.empty() || cell.outputs[0] == kInvalidNet) continue;
+    values_[cell.outputs[0]] = eval_cell(c);
+  }
+}
+
+void Simulator::set_input(const std::string& port_name, std::uint64_t value) {
+  const Port* port = netlist_.find_port(port_name);
+  if (port == nullptr || port->dir != PortDir::kInput) {
+    throw std::runtime_error("simulator: no input port '" + port_name + "'");
+  }
+  values_[port->net] = mask_width(value, port->width);
+  settle();
+}
+
+std::uint64_t Simulator::get_output(const std::string& port_name) const {
+  const Port* port = netlist_.find_port(port_name);
+  if (port == nullptr || port->dir != PortDir::kOutput) {
+    throw std::runtime_error("simulator: no output port '" + port_name + "'");
+  }
+  return values_[port->net];
+}
+
+void Simulator::step() {
+  // Phase 1: capture next states from the settled fabric.
+  std::vector<std::uint64_t> next(seq_cells_.size(), 0);
+  std::vector<bool> enabled(seq_cells_.size(), true);
+  for (std::size_t i = 0; i < seq_cells_.size(); ++i) {
+    const Cell& cell = netlist_.cell(seq_cells_[i]);
+    switch (cell.type) {
+      case CellType::kFf:
+      case CellType::kSrl: {
+        next[i] = mask_width(in_val(cell, 0), cell.width);
+        if (cell.inputs.size() > 1 && cell.inputs[1] != kInvalidNet) {
+          enabled[i] = (in_val(cell, 1) & 1) != 0;
+        }
+        break;
+      }
+      case CellType::kDsp:
+        next[i] = eval_cell(seq_cells_[i]);
+        break;
+      case CellType::kBram: {
+        // Dual-port: pin0 = write address (also read when pin3 absent),
+        // pin1 = wdata, pin2 = we, pin3 = read address.
+        const std::uint64_t waddr = in_val(cell, 0);
+        const bool has_raddr = cell.inputs.size() > 3 && cell.inputs[3] != kInvalidNet;
+        const std::uint64_t raddr = has_raddr ? in_val(cell, 3) : waddr;
+        auto& mem = mems_[static_cast<std::size_t>(state_index_[seq_cells_[i]])];
+        next[i] = raddr < mem.size() ? mem[raddr] : 0;  // read-first
+        const bool we =
+            cell.inputs.size() > 2 && cell.inputs[2] != kInvalidNet && (in_val(cell, 2) & 1);
+        if (we && waddr < mem.size()) mem[waddr] = mask_width(in_val(cell, 1), cell.width);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Phase 2: commit. pipes_ was filled in seq_cells_ order (one per cell).
+  for (std::size_t i = 0; i < seq_cells_.size(); ++i) {
+    const CellId id = seq_cells_[i];
+    const Cell& cell = netlist_.cell(id);
+    std::deque<std::uint64_t>& pipe = pipes_[i];
+    if (enabled[i]) {
+      pipe.push_front(next[i]);
+      pipe.pop_back();
+    }
+    if (!cell.outputs.empty() && cell.outputs[0] != kInvalidNet) {
+      values_[cell.outputs[0]] = pipe.back();
+    }
+  }
+
+  // Phase 3: settle combinational logic on the new state.
+  settle();
+  ++cycle_;
+}
+
+}  // namespace fpgasim

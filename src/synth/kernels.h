@@ -1,0 +1,21 @@
+// The four motivation-example kernels from Fig. 1 (after Mandebi et al.):
+// a 3x3 processing-element block implementing Matrix Multiplication (MM),
+// Outer Product (OP), Robert Cross (RC) and Smoothing (SM). Each component
+// uses the same LOAD -> COMPUTE -> DRAIN stream contract as the CNN layers
+// so they run through both design flows unchanged.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fpgasim {
+
+enum class KernelApp { kMatrixMult, kOuterProduct, kRobertCross, kSmoothing };
+
+const char* to_string(KernelApp app);
+
+/// Builds one 3x3 PE block for the given application.
+Netlist make_kernel_component(KernelApp app, const std::string& name);
+
+}  // namespace fpgasim

@@ -1,0 +1,505 @@
+#include "synth/layers.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "synth/builder.h"
+
+namespace fpgasim {
+namespace {
+
+// Component FSM states (Sec. IV-B3 execution schedule).
+constexpr std::uint64_t kStLoad = 0;
+constexpr std::uint64_t kStCompute = 1;
+constexpr std::uint64_t kStDrain = 2;
+
+/// Forward-declared state register: created first so the next-state logic
+/// can reference the current state; wired up at the end.
+struct StateReg {
+  CellId reg = kInvalidCell;
+  NetId value = kInvalidNet;
+};
+
+StateReg make_state_reg(NetlistBuilder& b) {
+  Cell cell;
+  cell.type = CellType::kFf;
+  cell.width = 2;
+  cell.name = "fsm_state";
+  StateReg s;
+  s.reg = b.netlist().add_cell(std::move(cell));
+  s.value = b.netlist().add_net(2, "state");
+  b.netlist().connect_output(s.reg, 0, s.value);
+  return s;
+}
+
+void finish_state_reg(NetlistBuilder& b, const StateReg& s, NetId next) {
+  b.netlist().connect_input(s.reg, 0, next);
+  b.netlist().connect_input(s.reg, 1, b.one());
+}
+
+std::vector<std::uint64_t> to_rom_words(const std::vector<Fixed16>& values) {
+  std::vector<std::uint64_t> words;
+  words.reserve(values.size());
+  for (Fixed16 v : values) {
+    words.push_back(static_cast<std::uint64_t>(static_cast<std::uint16_t>(v.raw)));
+  }
+  return words;
+}
+
+}  // namespace
+
+Netlist make_conv_component(const ConvParams& p, const std::vector<Fixed16>& weights,
+                            const std::vector<Fixed16>& bias) {
+  if (p.in_c % p.ic_par != 0 || p.out_c % p.oc_par != 0) {
+    throw std::invalid_argument("conv: channel counts must divide parallelism");
+  }
+  if (p.materialize_roms) {
+    assert(weights.size() ==
+           static_cast<std::size_t>(p.out_c) * p.in_c * p.kernel * p.kernel);
+    assert(bias.size() == static_cast<std::size_t>(p.out_c));
+  }
+  const int K = p.kernel, H = p.in_h, W = p.in_w, Ho = p.out_h(), Wo = p.out_w();
+  const int icg_n = p.in_c / p.ic_par;
+  const int ocg_n = p.out_c / p.oc_par;
+  const int lat = 1 + p.dsp_stages;  // BRAM read + DSP pipeline
+
+  NetlistBuilder b(p.name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_compute = b.eq(st.value, b.constant(kStCompute, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  // ---------------- source controller (LOAD) ----------------
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto pix = b.counter(static_cast<std::uint32_t>(H) * W, wr, kAddrW, "ld_pix");
+  const auto lane = b.counter(static_cast<std::uint32_t>(p.ic_par), pix.wrap, 8, "ld_lane");
+  const auto grp = b.counter(static_cast<std::uint32_t>(icg_n), lane.wrap, 8, "ld_grp");
+  const NetId load_addr =
+      b.mul_const_add(grp.value, static_cast<std::uint64_t>(H) * W, pix.value, kAddrW);
+  const std::vector<NetId> lane_sel = b.decode(lane.value, static_cast<std::size_t>(p.ic_par));
+  const NetId load_done = grp.wrap;
+
+  // ---------------- compute counters ----------------
+  // The sweep freezes once the last term has issued (done_latch): the
+  // MAC pipeline needs `lat` flush cycles before DRAIN, and the counters
+  // must re-enter COMPUTE at zero for the next image.
+  Cell done_cell;
+  done_cell.type = CellType::kFf;
+  done_cell.width = 1;
+  done_cell.name = "done_latch";
+  const CellId done_reg = b.netlist().add_cell(std::move(done_cell));
+  const NetId done_latch = b.netlist().add_net(1);
+  b.netlist().connect_output(done_reg, 0, done_latch);
+
+  const NetId sweeping = b.and2(is_compute, b.not1(done_latch));
+  const auto kx = b.counter(static_cast<std::uint32_t>(K), sweeping, 8, "kx");
+  const auto ky = b.counter(static_cast<std::uint32_t>(K), kx.wrap, 8, "ky");
+  const auto icg = b.counter(static_cast<std::uint32_t>(icg_n), ky.wrap, 8, "icg");
+  const auto ox = b.counter(static_cast<std::uint32_t>(Wo), icg.wrap, kAddrW, "ox");
+  const auto oy = b.counter(static_cast<std::uint32_t>(Ho), ox.wrap, kAddrW, "oy");
+  const auto ocg = b.counter(static_cast<std::uint32_t>(ocg_n), oy.wrap, 8, "ocg");
+
+  const NetId complete = icg.wrap;      // one output-pixel accumulation done
+  const NetId compute_done = ocg.wrap;  // whole layer done
+  b.netlist().connect_input(done_reg, 0,
+                            b.and2(is_compute, b.or2(done_latch, compute_done)));
+  b.netlist().connect_input(done_reg, 1, b.one());
+  const NetId first_term = b.and2(b.and2(b.eq(kx.value, b.zero(8)), b.eq(ky.value, b.zero(8))),
+                                  b.eq(icg.value, b.zero(8)));
+
+  // Input addressing: the MMU "jogging around the input data". LUT/carry
+  // shift-add arithmetic; its logic depth grows with the feature-map
+  // dimensions, which is one of the things that makes bigger layers close
+  // timing lower.
+  const NetId iy =
+      b.mul_const_add(oy.value, static_cast<std::uint64_t>(p.stride), ky.value, kAddrW);
+  const NetId ix =
+      b.mul_const_add(ox.value, static_cast<std::uint64_t>(p.stride), kx.value, kAddrW);
+  const NetId row_addr = b.mul_const_add(iy, static_cast<std::uint64_t>(W), ix, kAddrW);
+  const NetId in_addr =
+      b.mul_const_add(icg.value, static_cast<std::uint64_t>(H) * W, row_addr, kAddrW);
+
+  // Weight index; with a partial weight buffer the oc-group term is folded
+  // away (the MMU refills the buffer per group in that configuration).
+  const int wb_groups = (p.weight_buffer_ocg > 0 && p.weight_buffer_ocg < ocg_n)
+                            ? p.weight_buffer_ocg
+                            : ocg_n;
+  NetId widx;
+  if (wb_groups == ocg_n) {
+    const NetId t1 = b.mul_const_add(ocg.value, static_cast<std::uint64_t>(icg_n), icg.value,
+                                     kAddrW);
+    const NetId t2 = b.mul_const_add(t1, static_cast<std::uint64_t>(K), ky.value, kAddrW);
+    widx = b.mul_const_add(t2, static_cast<std::uint64_t>(K), kx.value, kAddrW);
+  } else {
+    const NetId t2 =
+        b.mul_const_add(icg.value, static_cast<std::uint64_t>(K), ky.value, kAddrW);
+    widx = b.mul_const_add(t2, static_cast<std::uint64_t>(K), kx.value, kAddrW);
+  }
+  const std::uint32_t weight_depth =
+      static_cast<std::uint32_t>(wb_groups) * icg_n * K * K;
+
+  // ---------------- input feature-map banks ----------------
+  std::vector<NetId> x_lane(static_cast<std::size_t>(p.ic_par));
+  for (int l = 0; l < p.ic_par; ++l) {
+    const NetId we = b.and2(wr, lane_sel[static_cast<std::size_t>(l)]);
+    x_lane[static_cast<std::size_t>(l)] =
+        b.bram(load_addr, in_data, we, static_cast<std::uint32_t>(icg_n) * H * W, kDataW, -1,
+               "ifm_bank" + std::to_string(l), in_addr);
+  }
+
+  // ---------------- compute units ----------------
+  const NetId term_valid_dl = b.delay(is_compute, lat, 1);
+  const NetId first_dl = b.delay(first_term, lat, 1);
+  const NetId complete_dl = b.delay(b.and2(complete, is_compute), lat, 1);
+  const NetId done_dl = b.delay(b.and2(compute_done, is_compute), lat, 1);
+  const NetId bias_addr = b.delay(ocg.value, lat - 1, 8);
+
+  // Sink-side output index, shared across CU columns.
+  const auto out_idx = b.counter(static_cast<std::uint32_t>(ocg_n) * Ho * Wo, complete_dl,
+                                 kAddrW, "out_idx");
+
+  // Drain counters (declared before the banks so the read address exists).
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto opix = b.counter(static_cast<std::uint32_t>(Ho) * Wo, streaming, kAddrW, "opix");
+  const auto olane = b.counter(static_cast<std::uint32_t>(p.oc_par), opix.wrap, 8, "olane");
+  const auto ogrp = b.counter(static_cast<std::uint32_t>(ocg_n), olane.wrap, 8, "ogrp");
+  const NetId drain_raddr = b.mul_const_add(
+      ogrp.value, static_cast<std::uint64_t>(Ho) * Wo, opix.value, kAddrW);
+
+  std::vector<NetId> bank_out(static_cast<std::size_t>(p.oc_par));
+  for (int j = 0; j < p.oc_par; ++j) {
+    // One weight ROM / buffer and one DSP MAC per (CU column, PE lane).
+    std::vector<NetId> products;
+    products.reserve(static_cast<std::size_t>(p.ic_par));
+    for (int l = 0; l < p.ic_par; ++l) {
+      std::int32_t rom_id = -1;
+      if (p.materialize_roms && wb_groups == ocg_n) {
+        std::vector<std::uint64_t> words(weight_depth, 0);
+        for (int og = 0; og < ocg_n; ++og) {
+          for (int ig = 0; ig < icg_n; ++ig) {
+            for (int kyy = 0; kyy < K; ++kyy) {
+              for (int kxx = 0; kxx < K; ++kxx) {
+                const int oc = og * p.oc_par + j;
+                const int ic = ig * p.ic_par + l;
+                const std::size_t src =
+                    static_cast<std::size_t>(((oc * p.in_c + ic) * K + kyy) * K + kxx);
+                const std::size_t dst =
+                    static_cast<std::size_t>(((og * icg_n + ig) * K + kyy) * K + kxx);
+                words[dst] = static_cast<std::uint16_t>(weights[src].raw);
+              }
+            }
+          }
+        }
+        rom_id = b.rom(std::move(words));
+      }
+      const NetId w_net =
+          b.bram(widx, kInvalidNet, kInvalidNet, weight_depth, kDataW, rom_id,
+                 "wrom_" + std::to_string(j) + "_" + std::to_string(l));
+      products.push_back(b.dsp(w_net, x_lane[static_cast<std::size_t>(l)], kInvalidNet,
+                               kFixedFrac, p.dsp_stages, kDataW,
+                               "mac_" + std::to_string(j) + "_" + std::to_string(l)));
+    }
+    const NetId partial = b.adder_tree(products, kDataW);
+
+    // Accumulator: acc <- (first ? 0 : acc) + partial.
+    Cell acc_cell;
+    acc_cell.type = CellType::kFf;
+    acc_cell.width = kDataW;
+    acc_cell.name = "acc" + std::to_string(j);
+    const CellId acc_reg = b.netlist().add_cell(std::move(acc_cell));
+    const NetId acc = b.netlist().add_net(kDataW);
+    b.netlist().connect_output(acc_reg, 0, acc);
+    const NetId acc_base = b.mux2(acc, b.zero(kDataW), first_dl, kDataW);
+    const NetId acc_next = b.add(acc_base, partial, kDataW);
+    b.netlist().connect_input(acc_reg, 0, acc_next);
+    b.netlist().connect_input(acc_reg, 1, term_valid_dl);
+
+    // Bias ROM per CU column.
+    std::int32_t bias_rom = -1;
+    if (p.materialize_roms) {
+      std::vector<std::uint64_t> words(static_cast<std::size_t>(ocg_n), 0);
+      for (int og = 0; og < ocg_n; ++og) {
+        words[static_cast<std::size_t>(og)] =
+            static_cast<std::uint16_t>(bias[static_cast<std::size_t>(og * p.oc_par + j)].raw);
+      }
+      bias_rom = b.rom(std::move(words));
+    }
+    const NetId bias_net = b.bram(bias_addr, kInvalidNet, kInvalidNet,
+                                  static_cast<std::uint32_t>(ocg_n), kDataW, bias_rom,
+                                  "brom" + std::to_string(j));
+    NetId result = b.add(acc_next, bias_net, kDataW);
+    if (p.fuse_relu) result = b.relu(result, kDataW);
+
+    // Sink: banked output feature-map memory.
+    bank_out[static_cast<std::size_t>(j)] =
+        b.bram(out_idx.value, result, complete_dl, static_cast<std::uint32_t>(ocg_n) * Ho * Wo,
+               kDataW, -1, "ofm_bank" + std::to_string(j), drain_raddr);
+  }
+
+  // Output register at the stream boundary: breaks the BRAM->mux->wire
+  // path before it leaves the component (interface timing, Sec. IV-A2).
+  const NetId out_data =
+      b.ff(b.muxn(bank_out, b.delay(olane.value, 1, 8), kDataW), kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = ogrp.wrap;
+
+  // ---------------- FSM ----------------
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStCompute, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), done_dl, 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_fc_component(const std::string& name, int inputs, int outputs,
+                          const std::vector<Fixed16>& weights,
+                          const std::vector<Fixed16>& bias, int in_par, int out_par,
+                          bool materialize_roms, int weight_buffer_ocg) {
+  // FC == convolution whose kernel covers the whole (1x1) input of
+  // `inputs` channels.
+  ConvParams p;
+  p.name = name;
+  p.in_c = inputs;
+  p.out_c = outputs;
+  p.kernel = 1;
+  p.in_h = 1;
+  p.in_w = 1;
+  p.ic_par = in_par;
+  p.oc_par = out_par;
+  p.materialize_roms = materialize_roms;
+  p.weight_buffer_ocg = weight_buffer_ocg;
+  return make_conv_component(p, weights, bias);
+}
+
+Netlist make_pool_component(const PoolParams& p) {
+  const int K = p.kernel, H = p.in_h, W = p.in_w, Ho = p.out_h(), Wo = p.out_w();
+  const int C = p.channels;
+
+  NetlistBuilder b(p.name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_compute = b.eq(st.value, b.constant(kStCompute, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  // Source controller.
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto pix = b.counter(static_cast<std::uint32_t>(H) * W, wr, kAddrW, "ld_pix");
+  const auto ch = b.counter(static_cast<std::uint32_t>(C), pix.wrap, kAddrW, "ld_ch");
+  const NetId load_addr =
+      b.mul_const_add(ch.value, static_cast<std::uint64_t>(H) * W, pix.value, kAddrW);
+  const NetId load_done = ch.wrap;
+
+  // Controller sweep: kx, ky within the window; ox, oy, c over outputs.
+  // As in the conv engine, the sweep freezes after the last window so the
+  // counters re-enter COMPUTE at zero (the BRAM pipeline flushes 1 cycle).
+  Cell done_cell;
+  done_cell.type = CellType::kFf;
+  done_cell.width = 1;
+  done_cell.name = "done_latch";
+  const CellId done_reg = b.netlist().add_cell(std::move(done_cell));
+  const NetId done_latch = b.netlist().add_net(1);
+  b.netlist().connect_output(done_reg, 0, done_latch);
+  const NetId sweeping = b.and2(is_compute, b.not1(done_latch));
+
+  const auto kx = b.counter(static_cast<std::uint32_t>(K), sweeping, 8, "kx");
+  const auto ky = b.counter(static_cast<std::uint32_t>(K), kx.wrap, 8, "ky");
+  const auto ox = b.counter(static_cast<std::uint32_t>(Wo), ky.wrap, kAddrW, "ox");
+  const auto oy = b.counter(static_cast<std::uint32_t>(Ho), ox.wrap, kAddrW, "oy");
+  const auto c2 = b.counter(static_cast<std::uint32_t>(C), oy.wrap, kAddrW, "c2");
+  const NetId complete = ky.wrap;
+  const NetId compute_done = c2.wrap;
+  b.netlist().connect_input(done_reg, 0,
+                            b.and2(is_compute, b.or2(done_latch, compute_done)));
+  b.netlist().connect_input(done_reg, 1, b.one());
+  const NetId first = b.and2(b.eq(kx.value, b.zero(8)), b.eq(ky.value, b.zero(8)));
+
+  const NetId iy = b.mul_const_add(oy.value, static_cast<std::uint64_t>(K), ky.value, kAddrW);
+  const NetId ix = b.mul_const_add(ox.value, static_cast<std::uint64_t>(K), kx.value, kAddrW);
+  const NetId row = b.mul_const_add(iy, static_cast<std::uint64_t>(W), ix, kAddrW);
+  const NetId rd_addr =
+      b.mul_const_add(c2.value, static_cast<std::uint64_t>(H) * W, row, kAddrW);
+
+  const NetId ifm = b.bram(load_addr, in_data, wr, static_cast<std::uint32_t>(C) * H * W,
+                           kDataW, -1, "ifm", rd_addr);
+
+  // Comparator + shift register (Fig. 4c): running max over the window.
+  const NetId first_d1 = b.delay(first, 1, 1);
+  const NetId complete_d1 = b.delay(b.and2(complete, is_compute), 1, 1);
+  const NetId done_d1 = b.delay(b.and2(compute_done, is_compute), 1, 1);
+  const NetId en_d1 = b.delay(is_compute, 1, 1);
+
+  Cell max_cell;
+  max_cell.type = CellType::kFf;
+  max_cell.width = kDataW;
+  max_cell.name = "maxreg";
+  const CellId max_reg = b.netlist().add_cell(std::move(max_cell));
+  const NetId max_val = b.netlist().add_net(kDataW);
+  b.netlist().connect_output(max_reg, 0, max_val);
+  const NetId max_next = b.mux2(b.smax(max_val, ifm, kDataW), ifm, first_d1, kDataW);
+  b.netlist().connect_input(max_reg, 0, max_next);
+  b.netlist().connect_input(max_reg, 1, en_d1);
+
+  NetId result = max_next;
+  if (p.fuse_relu) result = b.relu(result, kDataW);
+
+  // Sink controller.
+  const auto out_idx =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, complete_d1, kAddrW, "out_idx");
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto opix =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, streaming, kAddrW, "opix");
+  const NetId ofm = b.bram(out_idx.value, result, complete_d1,
+                           static_cast<std::uint32_t>(C) * Ho * Wo, kDataW, -1, "ofm",
+                           opix.value);
+  const NetId out_data = b.ff(ofm, kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = opix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStCompute, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), done_d1, 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_relu_component(const std::string& name, int width) {
+  NetlistBuilder b(name);
+  const NetId in_data = b.in_port("in_data", static_cast<std::uint16_t>(width));
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+  const NetId rectified = b.relu(in_data, static_cast<std::uint16_t>(width));
+  b.out_port("out_data", b.ff(rectified, in_valid, static_cast<std::uint16_t>(width)));
+  b.out_port("out_valid", b.delay(in_valid, 1, 1));
+  b.out_port("in_ready", out_ready);
+  return std::move(b).take();
+}
+
+Netlist make_stream_fifo(const std::string& name, int depth, int width) {
+  NetlistBuilder b(name);
+  const std::uint16_t w = static_cast<std::uint16_t>(width);
+  const NetId in_data = b.in_port("in_data", w);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  // Register-file FIFO with combinational read (single-source single-sink
+  // unbounded-in-spirit queue from Sec. IV-B1; depth bounds it physically).
+  Cell cnt_cell;
+  cnt_cell.type = CellType::kFf;
+  cnt_cell.width = 8;
+  cnt_cell.name = "count";
+  const CellId cnt_reg = b.netlist().add_cell(std::move(cnt_cell));
+  const NetId count = b.netlist().add_net(8);
+  b.netlist().connect_output(cnt_reg, 0, count);
+
+  const NetId empty = b.eq(count, b.zero(8));
+  const NetId full = b.eq(count, b.constant(static_cast<std::uint64_t>(depth), 8));
+  const NetId in_ready = b.not1(full);
+  const NetId out_valid = b.not1(empty);
+  const NetId push = b.and2(in_valid, in_ready);
+  const NetId pop = b.and2(out_ready, out_valid);
+
+  const NetId inc = b.mux2(b.zero(8), b.constant(1, 8), push, 8);
+  const NetId dec = b.mux2(b.zero(8), b.constant(1, 8), pop, 8);
+  const NetId next_count = b.sub(b.add(count, inc, 8), dec, 8);
+  b.netlist().connect_input(cnt_reg, 0, next_count);
+  b.netlist().connect_input(cnt_reg, 1, b.one());
+
+  const auto wptr = b.counter(static_cast<std::uint32_t>(depth), push, 8, "wptr");
+  const auto rptr = b.counter(static_cast<std::uint32_t>(depth), pop, 8, "rptr");
+  const std::vector<NetId> slot_en = b.decode(wptr.value, static_cast<std::size_t>(depth));
+  std::vector<NetId> slots;
+  slots.reserve(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    slots.push_back(b.ff(in_data, b.and2(push, slot_en[static_cast<std::size_t>(i)]), w));
+  }
+  b.out_port("out_data", b.muxn(slots, rptr.value, w));
+  b.out_port("out_valid", out_valid);
+  b.out_port("in_ready", in_ready);
+  return std::move(b).take();
+}
+
+Netlist make_input_streamer(const std::string& name, const std::vector<Fixed16>& image) {
+  NetlistBuilder b(name);
+  const NetId out_ready = b.in_port("out_ready", 1);
+  const std::uint32_t n = static_cast<std::uint32_t>(image.size());
+
+  // Valid goes (and stays) high one cycle in; the ROM is addressed with the
+  // *next* index on transfer so out_data is always the word at the current
+  // index (first-word-fall-through prefetch).
+  const NetId vld = b.ff(b.one(), b.one(), 1, "vld");
+  const NetId transfer = b.and2(out_ready, vld);
+
+  Cell idx_cell;
+  idx_cell.type = CellType::kFf;
+  idx_cell.width = kAddrW;
+  idx_cell.name = "idx";
+  const CellId idx_reg = b.netlist().add_cell(std::move(idx_cell));
+  const NetId idx = b.netlist().add_net(kAddrW);
+  b.netlist().connect_output(idx_reg, 0, idx);
+  const NetId at_top = b.eq(idx, b.constant(n - 1, kAddrW));
+  const NetId idx_next = b.mux2(b.add(idx, b.constant(1, kAddrW), kAddrW), b.zero(kAddrW),
+                                at_top, kAddrW);
+  b.netlist().connect_input(idx_reg, 0, idx_next);
+  b.netlist().connect_input(idx_reg, 1, transfer);
+
+  const NetId addr = b.mux2(idx, idx_next, transfer, kAddrW);
+  const std::int32_t rom_id = b.rom(to_rom_words(image));
+  const NetId data = b.bram(addr, kInvalidNet, kInvalidNet, n, kDataW, rom_id, "img_rom");
+  b.out_port("out_data", data);
+  b.out_port("out_valid", vld);
+  return std::move(b).take();
+}
+
+Netlist make_mmu_component(const std::string& name, int buffer_words) {
+  NetlistBuilder b(name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto wpix = b.counter(static_cast<std::uint32_t>(buffer_words), wr, kAddrW, "wpix");
+  const NetId load_done = wpix.wrap;
+
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto rpix =
+      b.counter(static_cast<std::uint32_t>(buffer_words), streaming, kAddrW, "rpix");
+  const NetId buf = b.bram(wpix.value, in_data, wr,
+                           static_cast<std::uint32_t>(buffer_words), kDataW, -1, "buf",
+                           rpix.value);
+  const NetId out_data = b.ff(buf, kInvalidNet, kDataW, "ob_reg");
+  const NetId drain_done = rpix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", b.delay(streaming, 2, 1));
+  return std::move(b).take();
+}
+
+}  // namespace fpgasim

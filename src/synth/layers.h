@@ -1,0 +1,111 @@
+// CNN layer component generators ("synthesis").
+//
+// Every component follows the paper's source/sink architecture (Sec. IV-B3):
+// a *source* memory controller loads the incoming feature-map stream into
+// banked on-chip memory, the compute units (PE array per input feature map
+// + adder tree, Fig. 4b) sweep the data, and a *sink* controller writes
+// results to banked output memory and streams them out. Components talk
+// through a valid/ready stream protocol (Fig. 5), canonical order
+// channel-major: for c, for y, for x.
+//
+// Stream interface of every layer component:
+//   in_data[16]  in_valid[1]  -> component;  component -> in_ready[1]
+//   out_data[16] out_valid[1] -> downstream; downstream -> out_ready[1]
+//
+// Pipeline behaviour is image-granular: LOAD -> COMPUTE -> DRAIN -> LOAD.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/fixed.h"
+
+namespace fpgasim {
+
+inline constexpr std::uint16_t kDataW = 16;  // fixed-16 datapath
+inline constexpr std::uint16_t kAddrW = 24;  // address arithmetic width
+
+struct ConvParams {
+  std::string name = "conv";
+  int in_c = 1;
+  int out_c = 1;
+  int kernel = 3;
+  int in_h = 8;
+  int in_w = 8;
+  int stride = 1;
+  int ic_par = 1;       // PEs: input feature maps processed in parallel
+  int oc_par = 1;       // CU columns: output channels computed in parallel
+  int dsp_stages = 1;   // MAC pipeline registers inside each DSP48
+  bool fuse_relu = false;
+  // Weight storage: true  -> weights hard-coded in ROM (LeNet style);
+  //                 false -> weight *buffers* sized for `weight_buffer_ocg`
+  //                          output groups (VGG style, coefficients come
+  //                          from off-chip through the MMU). Functional
+  //                          simulation requires materialized ROMs.
+  bool materialize_roms = true;
+  int weight_buffer_ocg = 0;  // 0 = all groups
+
+  int out_h() const { return (in_h - kernel) / stride + 1; }
+  int out_w() const { return (in_w - kernel) / stride + 1; }
+  long macs() const {
+    return static_cast<long>(out_c) * in_c * kernel * kernel * out_h() * out_w();
+  }
+  long weight_count() const { return static_cast<long>(out_c) * in_c * kernel * kernel; }
+  /// COMPUTE-phase cycles (excluding LOAD/DRAIN), used by the latency model.
+  long compute_cycles() const {
+    return static_cast<long>(out_h()) * out_w() * kernel * kernel * (in_c / ic_par) *
+           (out_c / oc_par);
+  }
+  long load_cycles() const { return static_cast<long>(in_c) * in_h * in_w; }
+  long drain_cycles() const { return static_cast<long>(out_c) * out_h() * out_w(); }
+};
+
+/// Systolic-array style convolution layer engine. `weights` laid out
+/// [oc][ic][ky][kx], `bias` per output channel; both in Q8.8.
+Netlist make_conv_component(const ConvParams& params, const std::vector<Fixed16>& weights,
+                            const std::vector<Fixed16>& bias);
+
+/// Fully-connected layer as a convolution with kernel == input size
+/// (paper Sec. V-B1). `inputs` is the flattened input count; weights
+/// [out][in]. Parallelism: in_par over inputs.
+Netlist make_fc_component(const std::string& name, int inputs, int outputs,
+                          const std::vector<Fixed16>& weights,
+                          const std::vector<Fixed16>& bias, int in_par = 1, int out_par = 1,
+                          bool materialize_roms = true, int weight_buffer_ocg = 0);
+
+struct PoolParams {
+  std::string name = "pool";
+  int channels = 1;
+  int kernel = 2;
+  int in_h = 8;
+  int in_w = 8;
+  bool fuse_relu = false;  // paper's "Pool+ReLU" components
+
+  int out_h() const { return in_h / kernel; }
+  int out_w() const { return in_w / kernel; }
+  long load_cycles() const { return static_cast<long>(channels) * in_h * in_w; }
+  long compute_cycles() const {
+    return static_cast<long>(channels) * out_h() * out_w() * kernel * kernel;
+  }
+  long drain_cycles() const { return static_cast<long>(channels) * out_h() * out_w(); }
+};
+
+/// Max-pooling engine: comparator + shift register + controller (Fig. 4c).
+Netlist make_pool_component(const PoolParams& params);
+
+/// Standalone streaming ReLU (registered, no memory controller; Sec. IV-B1).
+Netlist make_relu_component(const std::string& name, int width = kDataW);
+
+/// Single-source single-sink stream FIFO queue (Sec. IV-B1, Fig. 5).
+Netlist make_stream_fifo(const std::string& name, int depth, int width = kDataW);
+
+/// Input streamer: plays a fixed image (channel-major) out of ROM whenever
+/// downstream is ready; models the top-level MMU source.
+Netlist make_input_streamer(const std::string& name, const std::vector<Fixed16>& image);
+
+/// Memory-management unit: double-buffered BRAM staging between off-chip
+/// style bursts and the stream fabric (used by the VGG example).
+Netlist make_mmu_component(const std::string& name, int buffer_words);
+
+}  // namespace fpgasim

@@ -1,0 +1,92 @@
+#include "synth/streaming_conv.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "synth/builder.h"
+#include "synth/layers.h"
+
+namespace fpgasim {
+
+Netlist make_streaming_conv_component(const StreamingConvParams& p,
+                                      const std::vector<Fixed16>& weights,
+                                      const std::vector<Fixed16>& bias) {
+  const int K = p.kernel, W = p.in_w;
+  if (K < 1 || W < K) throw std::invalid_argument("streaming conv: kernel exceeds line width");
+  assert(weights.size() == static_cast<std::size_t>(p.out_c) * p.in_c * K * K);
+  assert(bias.size() == static_cast<std::size_t>(p.out_c));
+
+  NetlistBuilder b(p.name);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  std::vector<NetId> in_data(static_cast<std::size_t>(p.in_c));
+  for (int c = 0; c < p.in_c; ++c) {
+    in_data[static_cast<std::size_t>(c)] = b.in_port("in_data_" + std::to_string(c), kDataW);
+  }
+
+  // Window extraction (Fig. 4a): per channel, K-1 line buffers (SRL of
+  // length W) stacked vertically, a K-deep register chain horizontally.
+  // window[c][ky][kx] holds the input pixel (y - (K-1-ky), x - (K-1-kx))
+  // when pixel (y, x) is on the input.
+  std::vector<std::vector<std::vector<NetId>>> window(
+      static_cast<std::size_t>(p.in_c),
+      std::vector<std::vector<NetId>>(static_cast<std::size_t>(K),
+                                      std::vector<NetId>(static_cast<std::size_t>(K))));
+  for (int c = 0; c < p.in_c; ++c) {
+    NetId row_tap = in_data[static_cast<std::size_t>(c)];
+    for (int r = 0; r < K; ++r) {  // r rows ago
+      // Horizontal shift registers: win[K-1] is the current column.
+      std::vector<NetId>& row = window[static_cast<std::size_t>(c)]
+                                      [static_cast<std::size_t>(K - 1 - r)];
+      row[static_cast<std::size_t>(K - 1)] = row_tap;
+      for (int i = K - 2; i >= 0; --i) {
+        row[static_cast<std::size_t>(i)] =
+            b.ff(row[static_cast<std::size_t>(i + 1)], in_valid, kDataW);
+      }
+      if (r + 1 < K) row_tap = b.srl(row_tap, in_valid, static_cast<std::uint16_t>(W), kDataW);
+    }
+  }
+
+  // Window validity: the bottom-right corner has reached (K-1, K-1).
+  const auto x_ctr = b.counter(static_cast<std::uint32_t>(W), in_valid, kAddrW, "x");
+  // y is unbounded within a stream; a 24-bit saturating-ish counter is
+  // plenty for any frame the tests drive (wraps at 2^24 pixels of rows).
+  const auto y_ctr = b.counter(1u << 20, x_ctr.wrap, kAddrW, "y");
+  const NetId x_ok = b.not1(b.ltu(x_ctr.value, b.constant(static_cast<std::uint64_t>(K - 1),
+                                                          kAddrW)));
+  const NetId y_ok = b.not1(b.ltu(y_ctr.value, b.constant(static_cast<std::uint64_t>(K - 1),
+                                                          kAddrW)));
+  const NetId window_valid = b.and2(in_valid, b.and2(x_ok, y_ok));
+
+  // Fully parallel MAC array: out_c x in_c x K^2 DSPs with hard-wired
+  // constant weights, adder tree, bias constant, optional fused ReLU.
+  for (int j = 0; j < p.out_c; ++j) {
+    std::vector<NetId> products;
+    products.reserve(static_cast<std::size_t>(p.in_c) * K * K);
+    for (int c = 0; c < p.in_c; ++c) {
+      for (int ky = 0; ky < K; ++ky) {
+        for (int kx = 0; kx < K; ++kx) {
+          const Fixed16 w = weights[static_cast<std::size_t>(
+              ((j * p.in_c + c) * K + ky) * K + kx)];
+          const NetId w_net =
+              b.constant(static_cast<std::uint16_t>(w.raw), kDataW);
+          products.push_back(b.dsp(window[static_cast<std::size_t>(c)]
+                                         [static_cast<std::size_t>(ky)]
+                                         [static_cast<std::size_t>(kx)],
+                                   w_net, kInvalidNet, kFixedFrac, p.dsp_stages, kDataW));
+        }
+      }
+    }
+    const NetId sum = b.adder_tree(std::move(products), kDataW);
+    NetId result =
+        b.add(sum, b.constant(static_cast<std::uint16_t>(bias[static_cast<std::size_t>(j)].raw),
+                              kDataW),
+              kDataW);
+    if (p.fuse_relu) result = b.relu(result, kDataW);
+    b.out_port("out_data_" + std::to_string(j), b.ff(result, kInvalidNet, kDataW));
+  }
+  // Align validity with the DSP pipeline plus the output register.
+  b.out_port("out_valid", b.delay(window_valid, p.dsp_stages + 1, 1));
+  return std::move(b).take();
+}
+
+}  // namespace fpgasim

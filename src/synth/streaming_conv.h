@@ -1,0 +1,41 @@
+// Streaming convolution engine (paper Fig. 4a and Sec. III's second
+// accelerator class): shift-register line buffers feed a K x K window of
+// registers per input channel; a fully parallel MAC array computes every
+// output channel each cycle. One input pixel in, one output pixel out
+// (after warm-up) — the high-throughput architecture streaming
+// accelerators tailor to the network, at a much higher DSP cost than the
+// memory-based CLE of make_conv_component.
+//
+// Interface (differs from the CLE stream contract):
+//   in_data_<c>[16] per input channel, in_valid[1]
+//   out_data_<j>[16] per output channel, out_valid[1]
+// Weights are hard-wired constants (the streaming engine is tailored to
+// one network). Input must stream continuously within a frame (pixel-major
+// x fastest, all channels in parallel); in_valid gates the whole pipeline.
+#pragma once
+
+#include "netlist/netlist.h"
+#include "sim/fixed.h"
+
+namespace fpgasim {
+
+struct StreamingConvParams {
+  std::string name = "sconv";
+  int in_c = 1;
+  int out_c = 1;
+  int kernel = 3;
+  int in_w = 8;        // line-buffer length; in_h only bounds the frame
+  int dsp_stages = 1;  // MAC pipeline registers
+  bool fuse_relu = false;
+
+  long dsp_count() const {
+    return static_cast<long>(out_c) * in_c * kernel * kernel;
+  }
+};
+
+/// weights laid out [oc][ic][ky][kx]; bias per output channel (Q8.8).
+Netlist make_streaming_conv_component(const StreamingConvParams& params,
+                                      const std::vector<Fixed16>& weights,
+                                      const std::vector<Fixed16>& bias);
+
+}  // namespace fpgasim

@@ -1,0 +1,175 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+
+namespace fpgasim {
+
+std::string TimingResult::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "critical path %.3f ns -> Fmax %.1f MHz (%zu endpoints)",
+                critical_path_ns, fmax_mhz, endpoints);
+  return buf;
+}
+
+double estimate_wire_delay(const Device& device, TileCoord from, TileCoord to,
+                           const DelayModel& dm) {
+  if (from == kUnplaced || to == kUnplaced) return dm.wire_unplaced;
+  const int manhattan = std::abs(from.x - to.x) + std::abs(from.y - to.y);
+  const int crossings = device.discontinuities_between(from.x, to.x);
+  return dm.wire_base + dm.wire_per_tile * manhattan + dm.wire_discontinuity * crossings;
+}
+
+TimingResult run_sta(const Netlist& netlist, const PhysState& phys, const Device& device,
+                     const DelayModel& dm) {
+  const std::size_t num_nets = netlist.net_count();
+  const std::size_t num_cells = netlist.cell_count();
+  const bool have_phys = phys.cell_loc.size() == num_cells;
+
+  // Wire delay of one (net, sink index) connection.
+  auto wire_delay = [&](NetId n, std::size_t sink_idx, CellId sink_cell) -> double {
+    if (have_phys && n < phys.routes.size()) {
+      const RouteInfo& route = phys.routes[n];
+      if (route.routed && sink_idx < route.sink_delays_ns.size()) {
+        return route.sink_delays_ns[sink_idx];
+      }
+    }
+    const Net& net = netlist.net(n);
+    TileCoord from = kUnplaced, to = kUnplaced;
+    if (have_phys) {
+      if (net.driver != kInvalidCell) from = phys.cell_loc[net.driver];
+      to = phys.cell_loc[sink_cell];
+    }
+    const double fanout_term = dm.wire_per_fanout * (net.sinks.size() > 1
+                                                         ? static_cast<double>(net.sinks.size() - 1)
+                                                         : 0.0);
+    return estimate_wire_delay(device, from, to, dm) + fanout_term;
+  };
+
+  // Topological order of combinational cells (Kahn over net dependencies).
+  std::vector<int> indegree(num_cells, 0);
+  std::vector<CellId> order;
+  order.reserve(num_cells);
+  std::queue<CellId> ready;
+  for (CellId c = 0; c < num_cells; ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (DelayModel::is_sequential(cell)) continue;
+    int deg = 0;
+    for (NetId in : cell.inputs) {
+      if (in == kInvalidNet) continue;
+      const Net& net = netlist.net(in);
+      if (net.driver != kInvalidCell && !DelayModel::is_sequential(netlist.cell(net.driver))) {
+        ++deg;
+      }
+    }
+    indegree[c] = deg;
+    if (deg == 0) ready.push(c);
+  }
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    order.push_back(c);
+    for (NetId out : netlist.cell(c).outputs) {
+      if (out == kInvalidNet) continue;
+      for (const auto& [sink, pin] : netlist.net(out).sinks) {
+        if (DelayModel::is_sequential(netlist.cell(sink))) continue;
+        if (--indegree[sink] == 0) ready.push(sink);
+      }
+    }
+  }
+
+  // Arrival time at each net, with predecessor tracking for the report.
+  std::vector<double> arrival(num_nets, 0.0);
+  std::vector<NetId> pred_net(num_nets, kInvalidNet);
+  for (NetId n = 0; n < num_nets; ++n) {
+    const Net& net = netlist.net(n);
+    if (net.driver != kInvalidCell && DelayModel::is_sequential(netlist.cell(net.driver))) {
+      arrival[n] = dm.clk_to_q(netlist.cell(net.driver));
+    }
+  }
+  for (CellId c : order) {
+    const Cell& cell = netlist.cell(c);
+    if (cell.outputs.empty() || cell.outputs[0] == kInvalidNet) continue;
+    const NetId out = cell.outputs[0];
+    double best = 0.0;
+    NetId best_in = kInvalidNet;
+    for (NetId in : cell.inputs) {
+      if (in == kInvalidNet) continue;
+      // Wire delay from the input net to this cell: find our sink index.
+      const Net& net = netlist.net(in);
+      double wd = dm.wire_unplaced;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        if (net.sinks[s].first == c) {
+          wd = wire_delay(in, s, c);
+          break;
+        }
+      }
+      const double t = arrival[in] + wd;
+      if (t > best) {
+        best = t;
+        best_in = in;
+      }
+    }
+    arrival[out] = best + dm.comb_delay(cell);
+    pred_net[out] = best_in;
+  }
+
+  // Endpoints: sequential-cell inputs (+ output ports).
+  TimingResult result;
+  NetId worst_net = kInvalidNet;
+  CellId worst_cell = kInvalidCell;
+  for (NetId n = 0; n < num_nets; ++n) {
+    const Net& net = netlist.net(n);
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const auto [sink, pin] = net.sinks[s];
+      const Cell& cell = netlist.cell(sink);
+      if (!DelayModel::is_sequential(cell)) continue;
+      ++result.endpoints;
+      const double t = arrival[n] + wire_delay(n, s, sink) + dm.setup(cell);
+      if (t > result.critical_path_ns) {
+        result.critical_path_ns = t;
+        worst_net = n;
+        worst_cell = sink;
+      }
+    }
+  }
+  for (const Port& port : netlist.ports()) {
+    if (port.dir != PortDir::kOutput || port.net == kInvalidNet) continue;
+    ++result.endpoints;
+    const double t = arrival[port.net];
+    if (t > result.critical_path_ns) {
+      result.critical_path_ns = t;
+      worst_net = port.net;
+      worst_cell = kInvalidCell;
+    }
+  }
+
+  if (result.critical_path_ns > 0.0) {
+    result.fmax_mhz = 1000.0 / result.critical_path_ns;
+    // Reconstruct the critical chain (endpoint first).
+    if (worst_cell != kInvalidCell) {
+      result.critical_path.push_back("endpoint: " +
+                                     std::string(to_string(netlist.cell(worst_cell).type)) +
+                                     " '" + netlist.cell(worst_cell).name + "'");
+    }
+    NetId n = worst_net;
+    int guard = 0;
+    while (n != kInvalidNet && guard++ < 64) {
+      const Net& net = netlist.net(n);
+      if (net.driver == kInvalidCell) {
+        result.critical_path.push_back("input port net '" + net.name + "'");
+        break;
+      }
+      const Cell& drv = netlist.cell(net.driver);
+      result.critical_path.push_back(std::string(to_string(drv.type)) + " '" + drv.name +
+                                     "'");
+      if (DelayModel::is_sequential(drv)) break;
+      n = pred_net[n];
+    }
+  }
+  return result;
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,42 @@
+// ASCII table printer used by the benchmark harnesses to emit the paper's
+// tables/figures as aligned rows on stdout (and optionally as CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpgasim {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; cells beyond the header width are dropped.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with box-drawing separators.
+  std::string to_string() const;
+
+  /// Renders the table in RFC-4180-ish CSV (title omitted).
+  std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Convenience numeric formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpgasim

@@ -1,0 +1,50 @@
+// Fixed-size thread pool with a blocking task queue, plus a parallel_for
+// helper. Used to pre-implement independent CNN components concurrently
+// (the paper's function-optimization stage is embarrassingly parallel).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fpgasim {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool; blocks until done.
+/// Exceptions from iterations are rethrown (first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace fpgasim

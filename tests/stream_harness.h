@@ -1,0 +1,72 @@
+// Shared test harness: drives a layer component's stream interface with a
+// tensor (channel-major) and collects its output stream.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/golden.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace fpgasim::testhelpers {
+
+inline Tensor random_tensor(int c, int h, int w, std::uint64_t seed, int magnitude = 50) {
+  Tensor t = Tensor::zeros(c, h, w);
+  Rng rng(seed);
+  for (Fixed16& v : t.data) {
+    v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-magnitude, magnitude)));
+  }
+  return t;
+}
+
+inline std::vector<Fixed16> random_params(std::size_t n, std::uint64_t seed,
+                                          int magnitude = 50) {
+  std::vector<Fixed16> params(n);
+  Rng rng(seed);
+  for (Fixed16& v : params) {
+    v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-magnitude, magnitude)));
+  }
+  return params;
+}
+
+/// Streams `input` into the component and collects `expected_outputs`
+/// words. Fails the test if the component does not accept the whole input
+/// or does not produce enough outputs within the cycle guard.
+inline std::vector<Fixed16> run_stream(Simulator& sim, const std::vector<Fixed16>& input,
+                                       std::size_t expected_outputs,
+                                       long guard_cycles = 500000) {
+  sim.set_input("out_ready", 1);
+  sim.set_input("in_valid", 1);
+  // Allow a component mid-transition (e.g. finishing a previous DRAIN) to
+  // reach its LOAD state before data is offered.
+  for (int spin = 0; spin < 64 && sim.get_output("in_ready") != 1; ++spin) sim.step();
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(sim.get_output("in_ready"), 1u) << "component stalled at input word " << i;
+    sim.set_input("in_data", static_cast<std::uint16_t>(input[i].raw));
+    sim.step();
+  }
+  sim.set_input("in_valid", 0);
+
+  std::vector<Fixed16> out;
+  long guard = 0;
+  while (out.size() < expected_outputs && guard++ < guard_cycles) {
+    sim.step();
+    if (sim.get_output("out_valid") == 1) {
+      out.push_back(Fixed16{static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(sim.get_output("out_data")))});
+    }
+  }
+  EXPECT_EQ(out.size(), expected_outputs) << "timed out after " << guard << " cycles";
+  return out;
+}
+
+inline void expect_tensor_eq(const std::vector<Fixed16>& got, const std::vector<Fixed16>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].raw, want[i].raw) << "word " << i;
+  }
+}
+
+}  // namespace fpgasim::testhelpers

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "alloc/best_fit.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+TEST(BestFit, AllocatesAndFrees) {
+  BestFitAllocator alloc(1024, 1);
+  const auto a = alloc.allocate(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(alloc.used_bytes(), 100u);
+  alloc.free(*a);
+  EXPECT_EQ(alloc.used_bytes(), 0u);
+  EXPECT_EQ(alloc.block_count(), 1u);  // fully coalesced back
+  EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(BestFit, PicksSmallestFittingBlock) {
+  BestFitAllocator alloc(1000, 1);
+  const auto a = alloc.allocate(100);  // [0,100)
+  const auto b = alloc.allocate(50);   // [100,150)
+  const auto c = alloc.allocate(300);  // [150,450)
+  ASSERT_TRUE(a && b && c);
+  alloc.free(*a);  // hole of 100
+  alloc.free(*c);  // hole of 300 (coalesces with the 550 tail -> 850)
+  // A 90-byte request best-fits the 100-byte hole at 0, not the tail.
+  const auto d = alloc.allocate(90);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 0u);
+  EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(BestFit, SplitsAndReusesRemainder) {
+  BestFitAllocator alloc(256, 1);
+  const auto a = alloc.allocate(100);
+  const auto b = alloc.allocate(156);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(alloc.allocate(1).has_value());  // exactly full
+  EXPECT_EQ(alloc.free_bytes(), 0u);
+}
+
+TEST(BestFit, CoalescesWithBothNeighbours) {
+  BestFitAllocator alloc(300, 1);
+  const auto a = alloc.allocate(100);
+  const auto b = alloc.allocate(100);
+  const auto c = alloc.allocate(100);
+  ASSERT_TRUE(a && b && c);
+  alloc.free(*a);
+  alloc.free(*c);
+  EXPECT_EQ(alloc.free_block_count(), 2u);
+  alloc.free(*b);  // merges with the hole on each side
+  EXPECT_EQ(alloc.block_count(), 1u);
+  EXPECT_EQ(alloc.largest_free_block(), 300u);
+  EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(BestFit, DefragmentationThroughCoalescingEnablesBigAllocation) {
+  BestFitAllocator alloc(1000, 1);
+  std::vector<std::uint64_t> blocks;
+  for (int i = 0; i < 10; ++i) blocks.push_back(*alloc.allocate(100));
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+  // Free alternating blocks: 500 bytes free but largest hole is 100.
+  for (int i = 0; i < 10; i += 2) alloc.free(blocks[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(alloc.largest_free_block(), 100u);
+  EXPECT_FALSE(alloc.allocate(200).has_value());
+  // Free the rest: everything coalesces into one block again.
+  for (int i = 1; i < 10; i += 2) alloc.free(blocks[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(alloc.largest_free_block(), 1000u);
+  EXPECT_TRUE(alloc.allocate(1000).has_value());
+}
+
+TEST(BestFit, AlignmentRoundsSizes) {
+  BestFitAllocator alloc(1024, 64);
+  const auto a = alloc.allocate(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc.used_bytes(), 64u);
+  const auto b = alloc.allocate(65);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b % 64, 0u);
+  EXPECT_EQ(alloc.used_bytes(), 64u + 128u);
+}
+
+TEST(BestFit, DoubleFreeThrows) {
+  BestFitAllocator alloc(128, 1);
+  const auto a = alloc.allocate(64);
+  alloc.free(*a);
+  EXPECT_THROW(alloc.free(*a), std::invalid_argument);
+  EXPECT_THROW(alloc.free(999), std::invalid_argument);
+}
+
+TEST(BestFit, ExhaustionReturnsNullopt) {
+  BestFitAllocator alloc(100, 1);
+  EXPECT_FALSE(alloc.allocate(101).has_value());
+  EXPECT_TRUE(alloc.allocate(100).has_value());
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+}
+
+TEST(BestFit, RandomizedStressKeepsInvariants) {
+  // Property test: after any sequence of allocs/frees the block list must
+  // tile the address space exactly, links must be sane and no two free
+  // blocks may be adjacent.
+  BestFitAllocator alloc(1 << 16, 16);
+  Rng rng(2024);
+  std::map<std::uint64_t, std::uint64_t> live;  // base -> size
+  std::uint64_t live_bytes = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_alloc = live.empty() || rng.next_double() < 0.55;
+    if (do_alloc) {
+      const std::uint64_t size = 1 + rng.next_below(2000);
+      const auto base = alloc.allocate(size);
+      if (base.has_value()) {
+        const std::uint64_t rounded = (size + 15) / 16 * 16;
+        ASSERT_EQ(live.count(*base), 0u);
+        live[*base] = rounded;
+        live_bytes += rounded;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      live_bytes -= it->second;
+      alloc.free(it->first);
+      live.erase(it);
+    }
+    ASSERT_EQ(alloc.used_bytes(), live_bytes) << "step " << step;
+    const auto problems = alloc.check();
+    ASSERT_TRUE(problems.empty()) << "step " << step << ": " << problems.front();
+  }
+  for (const auto& [base, size] : live) alloc.free(base);
+  EXPECT_EQ(alloc.used_bytes(), 0u);
+  EXPECT_EQ(alloc.block_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fpgasim

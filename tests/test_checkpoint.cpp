@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "netlist/checkpoint.h"
+#include "synth/builder.h"
+
+namespace fpgasim {
+namespace {
+
+Checkpoint make_sample() {
+  NetlistBuilder b("sample");
+  const NetId a = b.in_port("in_data", 16);
+  const std::int32_t rom = b.rom({11, 22, 33, 44});
+  const NetId data = b.bram(a, kInvalidNet, kInvalidNet, 4, 16, rom, "rom");
+  b.out_port("out_data", b.ff(data, kInvalidNet, 16, "oreg"));
+  Checkpoint cp;
+  cp.netlist = std::move(b).take();
+  cp.netlist.lock_all();
+  cp.phys.resize_for(cp.netlist);
+  cp.phys.cell_loc[0] = TileCoord{3, 4};
+  cp.phys.cell_loc[1] = TileCoord{5, 6};
+  cp.phys.routes[0].routed = true;
+  cp.phys.routes[0].edges = {{TileCoord{3, 4}, TileCoord{4, 4}}};
+  cp.phys.routes[0].sink_delays_ns = {0.42};
+  cp.pblock = Pblock{2, 2, 8, 10};
+  cp.meta.fmax_mhz = 512.5;
+  cp.meta.critical_path_ns = 1.95;
+  cp.meta.implement_seconds = 3.25;
+  cp.meta.strategy = "aspect_1";
+  cp.meta.device = "xcku5p_sim";
+  return cp;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/roundtrip.fdcp";
+  const Checkpoint original = make_sample();
+  save_checkpoint(path, original);
+  const Checkpoint loaded = load_checkpoint(path);
+
+  EXPECT_EQ(loaded.netlist.name(), original.netlist.name());
+  ASSERT_EQ(loaded.netlist.cell_count(), original.netlist.cell_count());
+  ASSERT_EQ(loaded.netlist.net_count(), original.netlist.net_count());
+  for (CellId c = 0; c < original.netlist.cell_count(); ++c) {
+    const Cell& a = original.netlist.cell(c);
+    const Cell& b = loaded.netlist.cell(c);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.width, b.width);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.placement_locked, b.placement_locked);
+    EXPECT_EQ(a.rom_id, b.rom_id);
+  }
+  for (NetId n = 0; n < original.netlist.net_count(); ++n) {
+    EXPECT_EQ(loaded.netlist.net(n).driver, original.netlist.net(n).driver);
+    EXPECT_EQ(loaded.netlist.net(n).sinks, original.netlist.net(n).sinks);
+    EXPECT_EQ(loaded.netlist.net(n).routing_locked, original.netlist.net(n).routing_locked);
+  }
+  ASSERT_EQ(loaded.netlist.rom_count(), 1u);
+  EXPECT_EQ(loaded.netlist.rom(0), original.netlist.rom(0));
+  EXPECT_EQ(loaded.netlist.ports().size(), original.netlist.ports().size());
+
+  EXPECT_EQ(loaded.phys.cell_loc, original.phys.cell_loc);
+  ASSERT_EQ(loaded.phys.routes.size(), original.phys.routes.size());
+  EXPECT_EQ(loaded.phys.routes[0].edges, original.phys.routes[0].edges);
+  EXPECT_EQ(loaded.phys.routes[0].sink_delays_ns, original.phys.routes[0].sink_delays_ns);
+
+  EXPECT_EQ(loaded.pblock, original.pblock);
+  EXPECT_DOUBLE_EQ(loaded.meta.fmax_mhz, 512.5);
+  EXPECT_EQ(loaded.meta.strategy, "aspect_1");
+  EXPECT_EQ(loaded.meta.device, "xcku5p_sim");
+}
+
+TEST(Checkpoint, SimulatesIdenticallyAfterReload) {
+  const std::string path = testing::TempDir() + "/sim.fdcp";
+  save_checkpoint(path, make_sample());
+  const Checkpoint loaded = load_checkpoint(path);
+  EXPECT_TRUE(loaded.netlist.validate().empty());
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/bad.fdcp";
+  std::ofstream(path) << "this is not a checkpoint";
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  const std::string path = testing::TempDir() + "/trunc.fdcp";
+  save_checkpoint(path, make_sample());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/nope.fdcp"), std::runtime_error);
+}
+
+TEST(PhysState, TranslateShiftsPlacementAndRoutes) {
+  Checkpoint cp = make_sample();
+  cp.phys.translate(10, -2);
+  EXPECT_EQ(cp.phys.cell_loc[0], (TileCoord{13, 2}));
+  EXPECT_EQ(cp.phys.routes[0].edges[0].first, (TileCoord{13, 2}));
+  // Delays are translation-invariant and untouched.
+  EXPECT_DOUBLE_EQ(cp.phys.routes[0].sink_delays_ns[0], 0.42);
+}
+
+TEST(PhysState, TranslateLeavesUnplacedCellsAlone) {
+  PhysState phys;
+  phys.cell_loc = {kUnplaced, TileCoord{1, 1}};
+  phys.routes.resize(1);
+  phys.translate(5, 5);
+  EXPECT_EQ(phys.cell_loc[0], kUnplaced);
+  EXPECT_EQ(phys.cell_loc[1], (TileCoord{6, 6}));
+}
+
+}  // namespace
+}  // namespace fpgasim

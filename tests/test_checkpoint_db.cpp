@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "flow/checkpoint_db.h"
+#include "synth/builder.h"
+
+namespace fpgasim {
+namespace {
+
+Checkpoint tiny_checkpoint(const std::string& name, double fmax, double seconds) {
+  NetlistBuilder b(name);
+  const NetId a = b.in_port("in_data", 16);
+  b.out_port("out_data", b.ff(a, kInvalidNet, 16));
+  Checkpoint cp;
+  cp.netlist = std::move(b).take();
+  cp.phys.resize_for(cp.netlist);
+  cp.pblock = Pblock{0, 0, 3, 3};
+  cp.meta.fmax_mhz = fmax;
+  cp.meta.implement_seconds = seconds;
+  return cp;
+}
+
+TEST(CheckpointDb, PutGetContains) {
+  CheckpointDb db;
+  EXPECT_FALSE(db.contains("a"));
+  EXPECT_EQ(db.get("a"), nullptr);
+  db.put("a", tiny_checkpoint("a", 400, 1.5));
+  EXPECT_TRUE(db.contains("a"));
+  ASSERT_NE(db.get("a"), nullptr);
+  EXPECT_DOUBLE_EQ(db.get("a")->meta.fmax_mhz, 400);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(CheckpointDb, PutReplacesExisting) {
+  CheckpointDb db;
+  db.put("a", tiny_checkpoint("a", 400, 1.0));
+  db.put("a", tiny_checkpoint("a", 500, 2.0));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.get("a")->meta.fmax_mhz, 500);
+}
+
+TEST(CheckpointDb, TracksFunctionOptimizationTime) {
+  CheckpointDb db;
+  db.put("a", tiny_checkpoint("a", 400, 1.5));
+  db.put("b", tiny_checkpoint("b", 300, 2.5));
+  EXPECT_DOUBLE_EQ(db.total_implement_seconds(), 4.0);
+}
+
+TEST(CheckpointDb, KeysSorted) {
+  CheckpointDb db;
+  db.put("zeta", tiny_checkpoint("z", 1, 1));
+  db.put("alpha", tiny_checkpoint("a", 1, 1));
+  const auto keys = db.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(CheckpointDb, SaveAndLoadDirectory) {
+  const std::string dir = testing::TempDir() + "/fdcp_db";
+  std::filesystem::remove_all(dir);
+  CheckpointDb db;
+  db.put("conv_i1x4x4_o2_k3", tiny_checkpoint("conv", 420, 3.0));
+  db.put("pool_i2x2x2_k2", tiny_checkpoint("pool", 510, 1.0));
+  db.save_dir(dir);
+
+  CheckpointDb restored;
+  EXPECT_EQ(restored.load_dir(dir), 2u);
+  EXPECT_EQ(restored.size(), 2u);
+  ASSERT_TRUE(restored.contains("conv_i1x4x4_o2_k3"));
+  EXPECT_DOUBLE_EQ(restored.get("conv_i1x4x4_o2_k3")->meta.fmax_mhz, 420);
+  EXPECT_EQ(restored.get("conv_i1x4x4_o2_k3")->netlist.name(), "conv");
+}
+
+TEST(CheckpointDb, LoadFromMissingDirectoryIsEmpty) {
+  CheckpointDb db;
+  EXPECT_EQ(db.load_dir("/nonexistent/db/dir"), 0u);
+}
+
+TEST(CheckpointDb, SanitizesKeysForFilenames) {
+  const std::string dir = testing::TempDir() + "/fdcp_weird";
+  std::filesystem::remove_all(dir);
+  CheckpointDb db;
+  db.put("conv/i=2 x*8", tiny_checkpoint("weird", 100, 1.0));
+  db.save_dir(dir);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".fdcp");
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
+}  // namespace fpgasim

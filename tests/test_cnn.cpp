@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "cnn/impl.h"
+#include "cnn/model.h"
+
+namespace fpgasim {
+namespace {
+
+TEST(CnnModel, LeNetShapesAndParamCounts) {
+  const CnnModel model = make_lenet5();
+  const auto& layers = model.layers();
+  ASSERT_EQ(layers.size(), 7u);
+  // conv1: 6 filters of 5x5 on one channel + bias = 156 params (the value
+  // the paper quotes in Sec. V-E), producing 6@28x28.
+  EXPECT_EQ(layers[1].weights(), 156);
+  EXPECT_EQ(layers[1].out_shape, (Shape{6, 28, 28}));
+  EXPECT_EQ(layers[1].macs(), 117600);  // paper: "117600 multiplications"
+  // conv2: 16 x (6x5x5) + 16 = 2416 params (paper: "2416 in conv2").
+  EXPECT_EQ(layers[3].weights(), 2416);
+  EXPECT_EQ(layers[3].macs(), 240000);  // paper: "240000"
+  EXPECT_EQ(layers[3].out_shape, (Shape{16, 10, 10}));
+  EXPECT_EQ(layers[4].out_shape, (Shape{16, 5, 5}));
+  EXPECT_EQ(layers[5].in_shape.volume(), 400);
+  const auto stats = model.stats();
+  EXPECT_EQ(stats.conv_layers, 2);
+  EXPECT_EQ(stats.fc_layers, 2);
+  EXPECT_EQ(stats.conv_weights, 2572);
+  EXPECT_EQ(stats.fc_weights, 400 * 120 + 120 + 120 * 10 + 10);
+}
+
+TEST(CnnModel, Vgg16MatchesTableOne) {
+  const CnnModel model = make_vgg16();
+  const auto stats = model.stats();
+  EXPECT_EQ(stats.conv_layers, 13);
+  EXPECT_EQ(stats.fc_layers, 3);
+  // Table I: ~14.7M conv weights, ~124M FC weights, ~138M total,
+  // 15.3G conv MACs, ~15.5G total.
+  EXPECT_NEAR(static_cast<double>(stats.conv_weights), 14.7e6, 0.2e6);
+  EXPECT_NEAR(static_cast<double>(stats.fc_weights), 124e6, 1.0e6);
+  EXPECT_NEAR(static_cast<double>(stats.total_weights()), 138e6, 1.5e6);
+  EXPECT_NEAR(static_cast<double>(stats.conv_macs), 15.3e9, 0.2e9);
+  EXPECT_NEAR(static_cast<double>(stats.total_macs()), 15.5e9, 0.2e9);
+}
+
+TEST(CnnModel, ShapeInferenceRejectsBadGraphs) {
+  CnnModel model("bad");
+  model.add(Layer{.kind = LayerKind::kConv, .name = "c", .kernel = 3, .out_c = 4});
+  EXPECT_THROW(model.infer_shapes(), std::runtime_error);
+
+  CnnModel model2("bad2");
+  model2.add(Layer{.kind = LayerKind::kInput, .name = "in", .out_shape = Shape{1, 4, 4}});
+  model2.add(Layer{.kind = LayerKind::kConv, .name = "c", .kernel = 9, .out_c = 2});
+  EXPECT_THROW(model2.infer_shapes(), std::runtime_error);
+}
+
+TEST(ArchDef, ParsesAndRoundTrips) {
+  const std::string text = R"(# test network
+network tiny
+input 2 8 8
+conv c1 out=4 k=3 s=1 relu
+pool p1 k=2
+fc f1 out=10
+)";
+  const CnnModel model = parse_arch_def(text);
+  EXPECT_EQ(model.name(), "tiny");
+  ASSERT_EQ(model.layers().size(), 4u);
+  EXPECT_EQ(model.layers()[1].out_c, 4);
+  EXPECT_TRUE(model.layers()[1].fuse_relu);
+  EXPECT_EQ(model.layers()[2].kind, LayerKind::kPool);
+  EXPECT_EQ(model.layers()[3].out_shape, (Shape{10, 1, 1}));
+
+  // Round trip: serialize and reparse must produce identical structure.
+  const CnnModel again = parse_arch_def(to_arch_def(model));
+  ASSERT_EQ(again.layers().size(), model.layers().size());
+  for (std::size_t i = 0; i < model.layers().size(); ++i) {
+    EXPECT_EQ(again.layers()[i].kind, model.layers()[i].kind);
+    EXPECT_EQ(again.layers()[i].out_shape, model.layers()[i].out_shape);
+  }
+}
+
+TEST(ArchDef, ReportsLineNumbersOnErrors) {
+  try {
+    parse_arch_def("network x\ninput 1 4 4\nconv c1 k=3\n");  // missing out=
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(parse_arch_def("conv c out=1 k=1\n"), std::runtime_error);  // no input
+  EXPECT_THROW(parse_arch_def("network x\ninput 1 4 4\nwarp w\n"), std::runtime_error);
+}
+
+TEST(Grouping, FusesReluIntoPredecessor) {
+  const std::string text = R"(network g
+input 1 8 8
+conv c1 out=2 k=3
+relu r1
+pool p1 k=2
+relu r2
+fc f1 out=4
+)";
+  const CnnModel model = parse_arch_def(text);
+  const auto groups = default_grouping(model);
+  ASSERT_EQ(groups.size(), 3u);                      // conv+relu, pool+relu, fc
+  EXPECT_EQ(groups[0], (std::vector<int>{1, 2}));    // conv absorbs relu
+  EXPECT_EQ(groups[1], (std::vector<int>{3, 4}));    // pool absorbs relu
+  EXPECT_EQ(groups[2], (std::vector<int>{5}));
+}
+
+TEST(Grouping, LeNetHasSixComponents) {
+  // Table III component structure: conv1, pool1+relu, conv2, pool2+relu,
+  // fc1, fc2 (relus are fused via Layer::fuse_relu here).
+  const auto groups = default_grouping(make_lenet5());
+  EXPECT_EQ(groups.size(), 6u);
+}
+
+TEST(ChooseImplementation, RespectsDivisibilityAndBudget) {
+  const CnnModel model = make_lenet5();
+  for (long budget : {8L, 64L, 144L, 512L}) {
+    const ModelImpl impl = choose_implementation(model, budget);
+    long total_dsp = 0;
+    for (std::size_t i = 0; i < model.layers().size(); ++i) {
+      const Layer& layer = model.layers()[i];
+      const LayerImpl& li = impl.layers[i];
+      if (layer.kind == LayerKind::kConv) {
+        EXPECT_EQ(layer.in_shape.c % li.ic_par, 0);
+        EXPECT_EQ(layer.out_c % li.oc_par, 0);
+        total_dsp += li.dsp_count();
+      } else if (layer.kind == LayerKind::kFc) {
+        EXPECT_EQ(layer.in_shape.volume() % li.ic_par, 0);
+        total_dsp += li.dsp_count();
+      }
+    }
+    EXPECT_LE(total_dsp, 3 * budget) << "budget " << budget;  // loose cap
+    EXPECT_GE(total_dsp, 4);
+  }
+}
+
+TEST(ChooseImplementation, BigLayersGetStreamedWeights) {
+  const CnnModel model = make_vgg16();
+  const ModelImpl impl = choose_implementation(model, 2000);
+  for (std::size_t i = 0; i < model.layers().size(); ++i) {
+    const Layer& layer = model.layers()[i];
+    if (layer.kind != LayerKind::kConv && layer.kind != LayerKind::kFc) continue;
+    if (layer.weights() > 70000) {
+      EXPECT_FALSE(impl.layers[i].materialize) << layer.name;
+    }
+  }
+  // Large feature maps get tiled down.
+  EXPECT_GT(impl.layers[1].tile_h, 0);
+  EXPECT_LE(impl.layers[1].tile_h, 32);
+}
+
+TEST(LatencyModel, CyclesShrinkWithParallelism) {
+  const CnnModel model = make_lenet5();
+  const Layer& conv2 = model.layers()[3];
+  LayerImpl serial;   // 1x1
+  LayerImpl parallel; // 2x4
+  parallel.ic_par = 2;
+  parallel.oc_par = 4;
+  const long serial_cycles = layer_cycles(conv2, serial).compute;
+  const long parallel_cycles = layer_cycles(conv2, parallel).compute;
+  EXPECT_EQ(serial_cycles, 8 * parallel_cycles);
+  // LOAD/DRAIN are parallelism-independent stream transfers.
+  EXPECT_EQ(layer_cycles(conv2, serial).load, conv2.in_shape.volume());
+  EXPECT_EQ(layer_cycles(conv2, serial).drain, conv2.out_shape.volume());
+}
+
+TEST(LatencyModel, GroupLatencySumsMembers) {
+  const CnnModel model = make_lenet5();
+  const ModelImpl impl = choose_implementation(model, 64);
+  const auto groups = default_grouping(model);
+  long sum = 0;
+  for (int idx : groups[0]) {
+    sum += layer_cycles(model.layers()[static_cast<std::size_t>(idx)],
+                        impl.layers[static_cast<std::size_t>(idx)])
+               .total();
+  }
+  const ComponentLatency latency = group_latency(model, impl, groups[0], 200.0);
+  EXPECT_EQ(latency.cycles, sum);
+  EXPECT_DOUBLE_EQ(latency.latency_us(), static_cast<double>(sum) / 200.0);
+}
+
+TEST(ReferenceInference, DeterministicAndShaped) {
+  const CnnModel model = make_lenet5();
+  Tensor input = Tensor::zeros(1, 32, 32);
+  for (std::size_t i = 0; i < input.data.size(); ++i) {
+    input.data[i] = Fixed16::from_raw(static_cast<std::int16_t>(i % 37) - 18);
+  }
+  const auto a = reference_inference(model, input);
+  const auto b = reference_inference(model, input);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SynthParams, SeededAndBounded) {
+  const auto a = synth_params(64, 5);
+  const auto b = synth_params(64, 5);
+  const auto c = synth_params(64, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const Fixed16& v : a) EXPECT_LE(std::abs(v.raw), 48);
+}
+
+}  // namespace
+}  // namespace fpgasim

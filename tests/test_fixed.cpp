@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sim/fixed.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+TEST(Fixed16, DoubleRoundTrip) {
+  EXPECT_DOUBLE_EQ(Fixed16::from_double(1.5).to_double(), 1.5);
+  EXPECT_DOUBLE_EQ(Fixed16::from_double(-0.25).to_double(), -0.25);
+  EXPECT_EQ(Fixed16::from_double(1.0).raw, 256);
+}
+
+TEST(Fixed16, AdditionSaturates) {
+  const Fixed16 big = Fixed16::from_raw(INT16_MAX);
+  EXPECT_EQ((big + Fixed16::from_raw(100)).raw, INT16_MAX);
+  const Fixed16 small = Fixed16::from_raw(INT16_MIN);
+  EXPECT_EQ((small - Fixed16::from_raw(100)).raw, INT16_MIN);
+}
+
+TEST(Fixed16, MultiplyMatchesQ88Semantics) {
+  const Fixed16 a = Fixed16::from_double(2.0);
+  const Fixed16 b = Fixed16::from_double(0.5);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 1.0);
+  // Truncation, not rounding: 0.00390625 * 0.5 truncates to 0.
+  EXPECT_EQ((Fixed16::from_raw(1) * Fixed16::from_raw(128)).raw, 0);
+}
+
+TEST(Fixed16, MultiplySaturates) {
+  const Fixed16 big = Fixed16::from_double(100.0);
+  EXPECT_EQ((big * big).raw, INT16_MAX);
+  const Fixed16 neg = Fixed16::from_double(-100.0);
+  EXPECT_EQ((big * neg).raw, INT16_MIN);
+}
+
+TEST(Fixed16, MaxAndRelu) {
+  const Fixed16 a = Fixed16::from_double(-1.0);
+  const Fixed16 b = Fixed16::from_double(2.0);
+  EXPECT_EQ(fixed_max(a, b), b);
+  EXPECT_EQ(fixed_max(b, a), b);
+  EXPECT_EQ(fixed_relu(a).raw, 0);
+  EXPECT_EQ(fixed_relu(b), b);
+}
+
+TEST(Fixed16, ComparisonOperators) {
+  EXPECT_LT(Fixed16::from_double(-1.0), Fixed16::from_double(1.0));
+  EXPECT_EQ(Fixed16::from_double(0.5), Fixed16::from_raw(128));
+}
+
+class SextWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(SextWidth, SignExtensionRoundTrips) {
+  const int width = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width));
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t lo = -(1LL << (width - 1));
+    const std::int64_t hi = (1LL << (width - 1)) - 1;
+    const std::int64_t value = rng.next_int(lo, hi);
+    EXPECT_EQ(sext(mask_width(static_cast<std::uint64_t>(value), width), width), value)
+        << "width=" << width << " value=" << value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SextWidth, ::testing::Values(2, 4, 8, 16, 24, 32, 48));
+
+TEST(MaskWidth, ClipsToWidth) {
+  EXPECT_EQ(mask_width(0xFFFF, 8), 0xFFu);
+  EXPECT_EQ(mask_width(0x1234, 16), 0x1234u);
+  EXPECT_EQ(mask_width(~0ULL, 64), ~0ULL);
+}
+
+TEST(Fixed16, MulAddAssociativityWithoutSaturation) {
+  // The hardware sums products in a different order than the golden model;
+  // small magnitudes never clip, so the results must match exactly.
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    Fixed16 terms[6];
+    for (Fixed16& t : terms) t = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-60, 60)));
+    Fixed16 seq = terms[0];
+    for (int i = 1; i < 6; ++i) seq = seq + terms[i];
+    Fixed16 tree = ((terms[0] + terms[1]) + (terms[2] + terms[3])) + (terms[4] + terms[5]);
+    EXPECT_EQ(seq, tree);
+  }
+}
+
+}  // namespace
+}  // namespace fpgasim

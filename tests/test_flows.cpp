@@ -1,0 +1,183 @@
+// End-to-end flow tests: the pre-implemented flow against the monolithic
+// baseline on a small CNN, checking the paper's qualitative claims hold on
+// the simulated substrate and that composition preserves functionality.
+#include <gtest/gtest.h>
+
+#include "flow/build.h"
+#include "flow/monolithic.h"
+#include "flow/preimpl.h"
+#include "stream_harness.h"
+
+namespace fpgasim {
+namespace {
+
+using testhelpers::expect_tensor_eq;
+using testhelpers::random_tensor;
+using testhelpers::run_stream;
+
+struct MiniFlow {
+  Device device = make_xcku5p_sim();
+  CnnModel model;
+  ModelImpl impl;
+  std::vector<std::vector<int>> groups;
+  CheckpointDb db;
+
+  MiniFlow() {
+    model = parse_arch_def(R"(network mini
+input 2 8 8
+conv c1 out=4 k=3
+pool p1 k=2 relu
+conv c2 out=2 k=3
+)");
+    impl = choose_implementation(model, 12);
+    groups = default_grouping(model);
+    prepare_component_db(device, model, impl, groups, db);
+  }
+};
+
+TEST(Flows, PreImplPipelineEndToEnd) {
+  MiniFlow f;
+  EXPECT_EQ(f.db.size(), 3u);
+
+  ComposedDesign composed;
+  const PreImplReport report =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+
+  EXPECT_TRUE(report.macro.success);
+  EXPECT_TRUE(report.route.success);
+  EXPECT_GT(report.timing.fmax_mhz, 50.0);
+  EXPECT_GT(report.slowest_component_mhz, 0.0);
+  // The composed design cannot beat its slowest component (paper Sec. V-E).
+  EXPECT_LE(report.timing.fmax_mhz, report.slowest_component_mhz + 1.0);
+  EXPECT_TRUE(composed.netlist.validate().empty());
+  EXPECT_EQ(composed.instances.size(), 3u);
+
+  // Functional equivalence after placement, relocation and routing.
+  const Tensor input = random_tensor(2, 8, 8, 901);
+  const auto expected = reference_inference(f.model, input);
+  Simulator sim(composed.netlist);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
+TEST(Flows, LockedComponentRoutesSurviveComposition) {
+  MiniFlow f;
+  // Snapshot one checkpoint's internal routes.
+  const std::string key = group_signature(f.model, f.impl, f.groups[0]);
+  const Checkpoint* cp = f.db.get(key);
+  ASSERT_NE(cp, nullptr);
+  std::size_t locked_edges = 0;
+  for (const RouteInfo& route : cp->phys.routes) locked_edges += route.edges.size();
+
+  ComposedDesign composed;
+  const PreImplReport report =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+  ASSERT_TRUE(report.route.success);
+
+  // Instance 0's nets keep at least the locked edges (translated), and the
+  // relative geometry of the first route is preserved.
+  const auto& inst = composed.instances[0];
+  std::size_t edges_after = 0;
+  for (NetId n = inst.net_offset; n < inst.net_end; ++n) {
+    edges_after += composed.phys.routes[n].edges.size();
+  }
+  EXPECT_GE(edges_after, locked_edges);
+}
+
+TEST(Flows, MonolithicBaselineCompletesAndIsSlower) {
+  MiniFlow f;
+  ComposedDesign composed;
+  const PreImplReport pre =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+
+  Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);
+  PhysState phys;
+  const MonoReport mono = run_monolithic_flow(f.device, flat, phys);
+
+  EXPECT_TRUE(mono.route.success);
+  EXPECT_GT(mono.timing.fmax_mhz, 0.0);
+  // Paper headline claims on this substrate:
+  // (1) higher Fmax for the pre-implemented flow,
+  EXPECT_GT(pre.timing.fmax_mhz, mono.timing.fmax_mhz);
+  // (2) productivity: the online architecture-optimization stage is much
+  //     faster than the monolithic implementation,
+  EXPECT_LT(pre.total_seconds, mono.total_seconds);
+  // (3) resources: phys-opt register insertion/replication can only grow
+  //     the classic flow's footprint.
+  EXPECT_GE(mono.stats.resources.ff, pre.stats.resources.ff);
+  EXPECT_GE(mono.stats.resources.lut, pre.stats.resources.lut);
+  EXPECT_EQ(mono.stats.resources.dsp, pre.stats.resources.dsp);
+}
+
+TEST(Flows, ComponentMatchingFailsWithoutDatabase) {
+  MiniFlow f;
+  CheckpointDb empty;
+  ComposedDesign composed;
+  EXPECT_THROW(run_preimpl_cnn(f.device, f.model, f.impl, f.groups, empty, composed),
+               std::runtime_error);
+}
+
+TEST(Flows, DatabaseReuseSkipsReimplementation) {
+  MiniFlow f;
+  // Second call: everything already cached.
+  const std::size_t built_again =
+      prepare_component_db(f.device, f.model, f.impl, f.groups, f.db);
+  EXPECT_EQ(built_again, 0u);
+}
+
+TEST(Flows, ReplicatedComponentsShareOneCheckpoint) {
+  const Device device = make_xcku5p_sim();
+  // Two identical FC layers (8 -> 8): one checkpoint, two instances.
+  const CnnModel model = parse_arch_def(R"(network twins
+input 8 1 1
+fc f1 out=8
+fc f2 out=8
+)");
+  ModelImpl impl = choose_implementation(model, 8);
+  // Identical configs require identical weight storage for reuse; the
+  // paper's replicated components stream coefficients for the same reason.
+  impl.layers[1].materialize = false;
+  impl.layers[2].materialize = false;
+  impl.layers[1].ic_par = impl.layers[2].ic_par;
+  impl.layers[1].oc_par = impl.layers[2].oc_par;
+  const auto groups = default_grouping(model);
+  ASSERT_EQ(group_signature(model, impl, groups[0]),
+            group_signature(model, impl, groups[1]));
+  CheckpointDb db;
+  const std::size_t built = prepare_component_db(device, model, impl, groups, db);
+  EXPECT_EQ(built, 1u);  // implemented exactly once (the reuse claim)
+  EXPECT_EQ(db.size(), 1u);
+
+  ComposedDesign composed;
+  const PreImplReport report = run_preimpl_cnn(device, model, impl, groups, db, composed);
+  EXPECT_TRUE(report.macro.success);
+  EXPECT_EQ(composed.instances.size(), 2u);
+  // Relocation must place the two copies at non-overlapping anchors.
+  EXPECT_FALSE(composed.instances[0].footprint.overlaps(composed.instances[1].footprint));
+}
+
+TEST(Flows, StitchIsSmallShareOfArchitectureOptimization) {
+  MiniFlow f;
+  ComposedDesign composed;
+  const PreImplReport report =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+  // Paper: stitching is 5-9% of the flow; allow a loose upper bound here.
+  EXPECT_LT(report.stitch_fraction(), 0.6);
+  EXPECT_GT(report.function_opt_seconds, 0.0);
+}
+
+TEST(Flows, PhysOptCanBeDisabled) {
+  MiniFlow f;
+  Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);
+  const ResourceVec before = flat.stats().resources;
+  PhysState phys;
+  MonoOptions opt;
+  opt.phys_opt = false;
+  const MonoReport mono = run_monolithic_flow(f.device, flat, phys, opt);
+  EXPECT_EQ(mono.inserted_ffs, 0u);
+  EXPECT_EQ(mono.replicated_drivers, 0u);
+  EXPECT_EQ(mono.stats.resources, before);
+}
+
+}  // namespace
+}  // namespace fpgasim

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sim/golden.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+Tensor random_tensor(int c, int h, int w, std::uint64_t seed, int magnitude = 60) {
+  Tensor t = Tensor::zeros(c, h, w);
+  Rng rng(seed);
+  for (Fixed16& v : t.data) {
+    v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-magnitude, magnitude)));
+  }
+  return t;
+}
+
+TEST(Golden, ConvIdentityKernel) {
+  // 1x1 kernel with weight 1.0 and zero bias is the identity.
+  Tensor in = random_tensor(2, 4, 4, 5);
+  const std::vector<Fixed16> w{Fixed16::from_double(1.0), Fixed16{0}, Fixed16{0},
+                               Fixed16::from_double(1.0)};
+  const std::vector<Fixed16> bias{Fixed16{0}, Fixed16{0}};
+  const Tensor out = golden_conv2d(in, w, bias, 2, 1);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(out.at(0, y, x), in.at(0, y, x));
+      EXPECT_EQ(out.at(1, y, x), in.at(1, y, x));
+    }
+  }
+}
+
+TEST(Golden, ConvKnownAnswer) {
+  // 2x2 all-ones kernel over a ramp: output = sum of the window + bias.
+  Tensor in = Tensor::zeros(1, 3, 3);
+  for (int i = 0; i < 9; ++i) in.data[static_cast<std::size_t>(i)] = Fixed16::from_double(i);
+  const std::vector<Fixed16> w(4, Fixed16::from_double(1.0));
+  const Tensor out = golden_conv2d(in, w, {Fixed16::from_double(0.5)}, 1, 2);
+  EXPECT_EQ(out.height, 2);
+  EXPECT_EQ(out.width, 2);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0).to_double(), 0 + 1 + 3 + 4 + 0.5);
+  EXPECT_DOUBLE_EQ(out.at(0, 1, 1).to_double(), 4 + 5 + 7 + 8 + 0.5);
+}
+
+TEST(Golden, ConvStride) {
+  Tensor in = random_tensor(1, 6, 6, 6);
+  const std::vector<Fixed16> w{Fixed16::from_double(1.0)};
+  const Tensor out = golden_conv2d(in, w, {Fixed16{0}}, 1, 1, 2);
+  EXPECT_EQ(out.height, 3);
+  EXPECT_EQ(out.width, 3);
+  EXPECT_EQ(out.at(0, 1, 2), in.at(0, 2, 4));
+}
+
+TEST(Golden, MaxPoolPicksWindowMax) {
+  Tensor in = Tensor::zeros(1, 4, 4);
+  for (int i = 0; i < 16; ++i) {
+    in.data[static_cast<std::size_t>(i)] = Fixed16::from_double(i % 7 - 3);
+  }
+  const Tensor out = golden_maxpool(in, 2);
+  EXPECT_EQ(out.height, 2);
+  for (int oy = 0; oy < 2; ++oy) {
+    for (int ox = 0; ox < 2; ++ox) {
+      Fixed16 expected = in.at(0, oy * 2, ox * 2);
+      for (int ky = 0; ky < 2; ++ky) {
+        for (int kx = 0; kx < 2; ++kx) {
+          expected = fixed_max(expected, in.at(0, oy * 2 + ky, ox * 2 + kx));
+        }
+      }
+      EXPECT_EQ(out.at(0, oy, ox), expected);
+    }
+  }
+}
+
+TEST(Golden, PoolOutputDominatesInputs) {
+  // Property: each pooled value is >= every value in its window.
+  const Tensor in = random_tensor(3, 8, 8, 7);
+  const Tensor out = golden_maxpool(in, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (int oy = 0; oy < 4; ++oy) {
+      for (int ox = 0; ox < 4; ++ox) {
+        for (int ky = 0; ky < 2; ++ky) {
+          for (int kx = 0; kx < 2; ++kx) {
+            EXPECT_GE(out.at(c, oy, ox).raw, in.at(c, oy * 2 + ky, ox * 2 + kx).raw);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Golden, ReluClampsNegativesOnly) {
+  const Tensor in = random_tensor(2, 5, 5, 11);
+  const Tensor out = golden_relu(in);
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    if (in.data[i].raw > 0) {
+      EXPECT_EQ(out.data[i], in.data[i]);
+    } else {
+      EXPECT_EQ(out.data[i].raw, 0);
+    }
+  }
+}
+
+TEST(Golden, ReluIsIdempotent) {
+  const Tensor in = random_tensor(2, 5, 5, 13);
+  const Tensor once = golden_relu(in);
+  const Tensor twice = golden_relu(once);
+  EXPECT_EQ(once.data, twice.data);
+}
+
+TEST(Golden, FcKnownAnswer) {
+  const std::vector<Fixed16> in{Fixed16::from_double(1.0), Fixed16::from_double(2.0)};
+  const std::vector<Fixed16> w{Fixed16::from_double(0.5), Fixed16::from_double(0.25),
+                               Fixed16::from_double(-1.0), Fixed16::from_double(1.0)};
+  const std::vector<Fixed16> bias{Fixed16::from_double(0.125), Fixed16{0}};
+  const auto out = golden_fc(in, w, bias, 2);
+  EXPECT_DOUBLE_EQ(out[0].to_double(), 0.5 + 0.5 + 0.125);
+  EXPECT_DOUBLE_EQ(out[1].to_double(), -1.0 + 2.0);
+}
+
+TEST(Golden, FcEqualsConvWithFullKernel) {
+  // The paper implements FC as convolution with kernel == input size; the
+  // two golden paths must agree.
+  const Tensor in = random_tensor(3, 2, 2, 17, 40);
+  Rng rng(21);
+  std::vector<Fixed16> w(static_cast<std::size_t>(4) * 3 * 2 * 2);
+  for (Fixed16& v : w) v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-40, 40)));
+  std::vector<Fixed16> bias(4);
+  for (Fixed16& v : bias) v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-40, 40)));
+
+  const Tensor conv_out = golden_conv2d(in, w, bias, 4, 2);
+  ASSERT_EQ(conv_out.data.size(), 4u);
+  const auto fc_out = golden_fc(in.data, w, bias, 4);
+  for (int o = 0; o < 4; ++o) {
+    EXPECT_EQ(conv_out.data[static_cast<std::size_t>(o)], fc_out[static_cast<std::size_t>(o)])
+        << "output " << o;
+  }
+}
+
+}  // namespace
+}  // namespace fpgasim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "place/macro_placer.h"
+
+namespace fpgasim {
+namespace {
+
+std::vector<MacroItem> make_chain_items(const Device& device, int count, int w, int h) {
+  std::vector<MacroItem> items;
+  for (int i = 0; i < count; ++i) {
+    // All implemented at the same spot (the OOC flow reuses one pblock);
+    // relocation must spread them out.
+    items.push_back(MacroItem{"c" + std::to_string(i), Pblock{0, 0, w - 1, h - 1}});
+  }
+  (void)device;
+  return items;
+}
+
+std::vector<MacroNet> make_chain_nets(int count) {
+  std::vector<MacroNet> nets;
+  for (int i = 0; i + 1 < count; ++i) nets.push_back(MacroNet{{i, i + 1}, 1.0});
+  return nets;
+}
+
+TEST(MacroPlacer, PlacesChainWithoutOverlap) {
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 6, 12, 24);
+  const auto nets = make_chain_nets(6);
+  const MacroPlaceResult result = place_macros(device, items, nets);
+  ASSERT_TRUE(result.success) << result.error;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      EXPECT_FALSE(result.placed[i].overlaps(result.placed[j])) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(MacroPlacer, PlacementsAreColumnCompatible) {
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 4, 10, 20);
+  const auto nets = make_chain_nets(4);
+  const MacroPlaceResult result = place_macros(device, items, nets);
+  ASSERT_TRUE(result.success);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Pblock& placed = result.placed[i];
+    EXPECT_GE(placed.x0, 0);
+    EXPECT_GE(placed.y0, 0);
+    EXPECT_LT(placed.x1, device.width());
+    EXPECT_LT(placed.y1, device.height());
+    EXPECT_EQ(result.offsets[i].second % 2, 0);  // row parity preserved
+    for (int dx = 0; dx < placed.width(); ++dx) {
+      EXPECT_EQ(device.column_type(placed.x0 + dx),
+                device.column_type(items[i].footprint.x0 + dx));
+    }
+  }
+}
+
+TEST(MacroPlacer, ConnectedComponentsLandNearEachOther) {
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 5, 12, 24);
+  const auto nets = make_chain_nets(5);
+  const MacroPlaceResult result = place_macros(device, items, nets);
+  ASSERT_TRUE(result.success);
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    const Pblock& a = result.placed[i];
+    const Pblock& b = result.placed[i + 1];
+    const int dist = std::abs((a.x0 + a.x1) / 2 - (b.x0 + b.x1) / 2) +
+                     std::abs((a.y0 + a.y1) / 2 - (b.y0 + b.y1) / 2);
+    EXPECT_LE(dist, 90) << "chain neighbours " << i << " placed far apart";
+  }
+  EXPECT_GT(result.timing_cost, 0.0);
+}
+
+TEST(MacroPlacer, EmptyInputSucceeds) {
+  const Device device = make_tiny_device();
+  const MacroPlaceResult result = place_macros(device, {}, {});
+  EXPECT_TRUE(result.success);
+}
+
+TEST(MacroPlacer, SingleComponentPlacesAtZeroCost) {
+  const Device device = make_xcku5p_sim();
+  std::vector<MacroItem> items{MacroItem{"solo", Pblock{4, 0, 20, 30}}};
+  const MacroPlaceResult result = place_macros(device, items, {});
+  ASSERT_TRUE(result.success);
+  EXPECT_DOUBLE_EQ(result.timing_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.congestion_cost, 0.0);
+}
+
+TEST(MacroPlacer, FailsWhenComponentCannotFit) {
+  const Device device = make_tiny_device();
+  // Wider than the device: no anchor exists.
+  std::vector<MacroItem> items{
+      MacroItem{"huge", Pblock{0, 0, device.width() + 5, device.height() - 1}}};
+  const MacroPlaceResult result = place_macros(device, items, {});
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(MacroPlacer, PacksManyComponentsOnTinyDevice) {
+  // Forces the unplace-and-retry path: 8 CLB-only 4x8 blocks on a 24x32
+  // device leave little slack; the placer must backtrack, not fail.
+  const Device device = make_tiny_device();
+  std::vector<MacroItem> items;
+  for (int i = 0; i < 8; ++i) {
+    items.push_back(MacroItem{"b" + std::to_string(i), Pblock{0, 0, 3, 7}});
+  }
+  const auto nets = make_chain_nets(8);
+  const MacroPlaceResult result = place_macros(device, items, nets);
+  ASSERT_TRUE(result.success) << result.error;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      EXPECT_FALSE(result.placed[i].overlaps(result.placed[j]));
+    }
+  }
+}
+
+TEST(MacroPlacer, DeterministicForSeed) {
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 5, 10, 20);
+  const auto nets = make_chain_nets(5);
+  MacroPlaceOptions opt;
+  opt.seed = 7;
+  const auto a = place_macros(device, items, nets, opt);
+  const auto b = place_macros(device, items, nets, opt);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.offsets, b.offsets);
+}
+
+}  // namespace
+}  // namespace fpgasim

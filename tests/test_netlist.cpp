@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "synth/builder.h"
+
+namespace fpgasim {
+namespace {
+
+TEST(Netlist, BuilderProducesConsistentConnectivity) {
+  NetlistBuilder b("t");
+  const NetId a = b.in_port("a", 8);
+  const NetId c = b.in_port("b", 8);
+  const NetId sum = b.add(a, c, 8);
+  b.out_port("sum", sum);
+  const Netlist nl = std::move(b).take();
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_EQ(nl.ports().size(), 3u);
+  ASSERT_NE(nl.find_port("sum"), nullptr);
+  EXPECT_EQ(nl.find_port("sum")->dir, PortDir::kOutput);
+  EXPECT_EQ(nl.find_port("missing"), nullptr);
+}
+
+TEST(Netlist, ValidateCatchesDanglingDriver) {
+  Netlist nl("bad");
+  const NetId n = nl.add_net(4);
+  Cell cell;
+  cell.type = CellType::kLut;
+  const CellId c = nl.add_cell(std::move(cell));
+  nl.connect_input(c, 0, n);  // sink on an undriven, non-port net
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+TEST(Netlist, ValidateCatchesPortWidthMismatch) {
+  Netlist nl("bad");
+  const NetId n = nl.add_net(4);
+  nl.add_port(Port{"p", PortDir::kInput, 8, n});
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+struct FootprintCase {
+  CellType type;
+  std::uint16_t width;
+  std::uint16_t depth;
+  std::uint32_t bram_depth;
+  ResourceVec expected;
+};
+
+class CellFootprint : public ::testing::TestWithParam<FootprintCase> {};
+
+TEST_P(CellFootprint, MatchesCalibration) {
+  const FootprintCase& tc = GetParam();
+  Cell cell;
+  cell.type = tc.type;
+  cell.width = tc.width;
+  cell.depth = tc.depth;
+  cell.bram_depth = tc.bram_depth;
+  EXPECT_EQ(Netlist::cell_footprint(cell), tc.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, CellFootprint,
+    ::testing::Values(
+        FootprintCase{CellType::kConst, 16, 0, 0, ResourceVec{}},
+        FootprintCase{CellType::kLut, 16, 0, 0, ResourceVec{.lut = 16}},
+        FootprintCase{CellType::kFf, 24, 0, 0, ResourceVec{.ff = 24}},
+        FootprintCase{CellType::kSrl, 16, 16, 0, ResourceVec{.lut = 16}},
+        FootprintCase{CellType::kSrl, 16, 17, 0, ResourceVec{.lut = 32}},
+        FootprintCase{CellType::kAdd, 16, 0, 0, ResourceVec{.lut = 16, .carry = 2}},
+        FootprintCase{CellType::kAdd, 24, 0, 0, ResourceVec{.lut = 24, .carry = 3}},
+        FootprintCase{CellType::kMax, 16, 0, 0, ResourceVec{.lut = 32, .carry = 2}},
+        FootprintCase{CellType::kRelu, 16, 0, 0, ResourceVec{.lut = 16}},
+        FootprintCase{CellType::kDsp, 16, 0, 0, ResourceVec{.dsp = 1}},
+        // 1024 x 16b = 16 Kb -> one BRAM36; 4096 x 16b = 64 Kb -> two.
+        FootprintCase{CellType::kBram, 16, 0, 1024, ResourceVec{.bram = 1}},
+        FootprintCase{CellType::kBram, 16, 0, 4096, ResourceVec{.bram = 2}}));
+
+TEST(Netlist, StatsAggregateFootprints) {
+  NetlistBuilder b("s");
+  const NetId a = b.in_port("a", 16);
+  b.out_port("q", b.ff(b.add(a, a, 16), kInvalidNet, 16));
+  const Netlist nl = std::move(b).take();
+  const NetlistStats stats = nl.stats();
+  EXPECT_EQ(stats.resources.lut, 16);
+  EXPECT_EQ(stats.resources.ff, 16);
+  EXPECT_EQ(stats.resources.carry, 2);
+  EXPECT_EQ(stats.cells, 2u);
+}
+
+TEST(Netlist, LockAllSetsFlags) {
+  NetlistBuilder b("l");
+  const NetId a = b.in_port("a", 8);
+  b.out_port("q", b.ff(a, kInvalidNet, 8));
+  Netlist nl = std::move(b).take();
+  nl.lock_all();
+  for (CellId c = 0; c < nl.cell_count(); ++c) EXPECT_TRUE(nl.cell(c).placement_locked);
+  for (NetId n = 0; n < nl.net_count(); ++n) EXPECT_TRUE(nl.net(n).routing_locked);
+}
+
+TEST(Netlist, MergeOffsetsAndRemapsEverything) {
+  NetlistBuilder b1("one");
+  const NetId a = b1.in_port("a", 8);
+  b1.out_port("q", b1.not1(a, 8));
+  Netlist first = std::move(b1).take();
+
+  NetlistBuilder b2("two");
+  const NetId x = b2.in_port("x", 8);
+  const std::int32_t rom = b2.rom({1, 2, 3});
+  b2.out_port("y", b2.bram(x, kInvalidNet, kInvalidNet, 4, 8, rom));
+  const Netlist second = std::move(b2).take();
+
+  const std::size_t cells_before = first.cell_count();
+  const std::size_t nets_before = first.net_count();
+  const auto [cell_off, net_off] = first.merge(second);
+  EXPECT_EQ(cell_off, cells_before);
+  EXPECT_EQ(net_off, nets_before);
+  EXPECT_EQ(first.cell_count(), cells_before + second.cell_count());
+  // Copied BRAM keeps functioning rom reference.
+  const Cell& bram = first.cell(static_cast<CellId>(first.cell_count() - 1));
+  EXPECT_EQ(bram.type, CellType::kBram);
+  ASSERT_GE(bram.rom_id, 0);
+  EXPECT_EQ(first.rom(bram.rom_id).size(), 3u);
+  // Net references inside copied cells are offset into valid range.
+  for (CellId c = cell_off; c < first.cell_count(); ++c) {
+    for (NetId in : first.cell(c).inputs) {
+      if (in != kInvalidNet) EXPECT_GE(in, net_off);
+    }
+  }
+}
+
+TEST(Netlist, RomStorageRoundTrips) {
+  Netlist nl("r");
+  const std::int32_t id = nl.add_rom({5, 6, 7});
+  EXPECT_EQ(nl.rom_count(), 1u);
+  EXPECT_EQ(nl.rom(id)[2], 7u);
+}
+
+}  // namespace
+}  // namespace fpgasim

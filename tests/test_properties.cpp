@@ -1,0 +1,169 @@
+// Cross-module property tests: determinism of every CAD stage under a
+// fixed seed, and end-to-end integrity of the checkpoint database when it
+// round-trips through disk before composition.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "flow/build.h"
+#include "flow/monolithic.h"
+#include "flow/preimpl.h"
+#include "stream_harness.h"
+
+namespace fpgasim {
+namespace {
+
+using testhelpers::expect_tensor_eq;
+using testhelpers::random_tensor;
+using testhelpers::run_stream;
+
+CnnModel tiny_model() {
+  return parse_arch_def(R"(network prop
+input 2 8 8
+conv c1 out=4 k=3
+pool p1 k=2 relu
+)");
+}
+
+TEST(Determinism, OocFlowIsSeedStable) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+  OocOptions opt;
+  opt.seed = 77;
+  Netlist a = build_group_netlist(model, impl, groups[0]);
+  Netlist b = build_group_netlist(model, impl, groups[0]);
+  const OocResult ra = implement_ooc(device, std::move(a), opt);
+  const OocResult rb = implement_ooc(device, std::move(b), opt);
+  EXPECT_DOUBLE_EQ(ra.timing.fmax_mhz, rb.timing.fmax_mhz);
+  EXPECT_EQ(ra.checkpoint.pblock, rb.checkpoint.pblock);
+  EXPECT_EQ(ra.checkpoint.phys.cell_loc, rb.checkpoint.phys.cell_loc);
+}
+
+TEST(Determinism, PreImplFlowIsSeedStable) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+  CheckpointDb db;
+  prepare_component_db(device, model, impl, groups, db);
+  ComposedDesign d1, d2;
+  const PreImplReport r1 = run_preimpl_cnn(device, model, impl, groups, db, d1);
+  const PreImplReport r2 = run_preimpl_cnn(device, model, impl, groups, db, d2);
+  EXPECT_DOUBLE_EQ(r1.timing.fmax_mhz, r2.timing.fmax_mhz);
+  EXPECT_EQ(r1.macro.offsets, r2.macro.offsets);
+}
+
+TEST(Determinism, MonolithicFlowIsSeedStable) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+  Netlist f1 = build_flat_netlist(model, impl, groups);
+  Netlist f2 = build_flat_netlist(model, impl, groups);
+  PhysState p1, p2;
+  const MonoReport r1 = run_monolithic_flow(device, f1, p1);
+  const MonoReport r2 = run_monolithic_flow(device, f2, p2);
+  EXPECT_DOUBLE_EQ(r1.timing.fmax_mhz, r2.timing.fmax_mhz);
+  EXPECT_EQ(p1.cell_loc, p2.cell_loc);
+}
+
+TEST(Integration, DatabaseDiskRoundTripComposesAndSimulates) {
+  // Save the component database to disk, reload it into a fresh database,
+  // run the architecture optimization from the reloaded checkpoints, and
+  // prove the composed accelerator still computes the network bit-exactly.
+  const std::string dir = testing::TempDir() + "/prop_db";
+  std::filesystem::remove_all(dir);
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+
+  {
+    CheckpointDb db;
+    prepare_component_db(device, model, impl, groups, db);
+    db.save_dir(dir);
+  }
+  CheckpointDb reloaded;
+  ASSERT_EQ(reloaded.load_dir(dir), groups.size());
+
+  ComposedDesign composed;
+  const PreImplReport report =
+      run_preimpl_cnn(device, model, impl, groups, reloaded, composed);
+  ASSERT_TRUE(report.route.success);
+  ASSERT_TRUE(composed.netlist.validate().empty());
+
+  const Tensor input = random_tensor(2, 8, 8, 555);
+  const auto expected = reference_inference(model, input);
+  Simulator sim(composed.netlist);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
+TEST(Integration, ArchDefDrivesIdenticalResultToProgrammaticModel) {
+  // The textual architecture definition and a programmatic model of the
+  // same network must produce identical component signatures (and thus
+  // share the checkpoint database).
+  CnnModel programmatic("prop");
+  programmatic.add(
+      Layer{.kind = LayerKind::kInput, .name = "in", .out_shape = Shape{2, 8, 8}});
+  programmatic.add(Layer{.kind = LayerKind::kConv, .name = "c1", .kernel = 3, .out_c = 4});
+  programmatic.add(
+      Layer{.kind = LayerKind::kPool, .name = "p1", .kernel = 2, .fuse_relu = true});
+  programmatic.infer_shapes();
+
+  const CnnModel parsed = tiny_model();
+  const ModelImpl ia = choose_implementation(programmatic, 8);
+  const ModelImpl ib = choose_implementation(parsed, 8);
+  const auto ga = default_grouping(programmatic);
+  const auto gb = default_grouping(parsed);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(group_signature(programmatic, ia, ga[i]),
+              group_signature(parsed, ib, gb[i]));
+  }
+}
+
+TEST(Integration, RelocatedCheckpointStaysWithinDevice) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+  CheckpointDb db;
+  prepare_component_db(device, model, impl, groups, db);
+  ComposedDesign composed;
+  run_preimpl_cnn(device, model, impl, groups, db, composed);
+  for (const auto& inst : composed.instances) {
+    EXPECT_GE(inst.footprint.x0, 0);
+    EXPECT_LT(inst.footprint.x1, device.width());
+    EXPECT_GE(inst.footprint.y0, 0);
+    EXPECT_LT(inst.footprint.y1, device.height());
+    for (CellId c = inst.cell_offset; c < inst.cell_end; ++c) {
+      const TileCoord loc = composed.phys.cell_loc[c];
+      EXPECT_TRUE(inst.footprint.contains(loc.x, loc.y));
+    }
+  }
+  // Instances never overlap after relocation.
+  for (std::size_t i = 0; i < composed.instances.size(); ++i) {
+    for (std::size_t j = i + 1; j < composed.instances.size(); ++j) {
+      EXPECT_FALSE(
+          composed.instances[i].footprint.overlaps(composed.instances[j].footprint));
+    }
+  }
+}
+
+TEST(Integration, RouterRespectsCapacityOnComposedDesign) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = tiny_model();
+  const ModelImpl impl = choose_implementation(model, 8);
+  const auto groups = default_grouping(model);
+  CheckpointDb db;
+  prepare_component_db(device, model, impl, groups, db);
+  ComposedDesign composed;
+  const PreImplReport report = run_preimpl_cnn(device, model, impl, groups, db, composed);
+  EXPECT_EQ(report.route.max_overuse, 0) << "composed design left overused channels";
+}
+
+}  // namespace
+}  // namespace fpgasim

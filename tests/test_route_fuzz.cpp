@@ -1,0 +1,120 @@
+// Router fuzzing: random FF point-to-multipoint netlists with random
+// placements must always route with a connected tree per net, monotone
+// per-sink delays and non-negative wirelength — across seeds and loads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "route/router.h"
+#include "synth/builder.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+struct FuzzDesign {
+  Netlist netlist{"fuzz"};
+  PhysState phys;
+};
+
+FuzzDesign make_random_design(const Device& device, int nets, int max_fanout,
+                              std::uint64_t seed) {
+  FuzzDesign design;
+  Rng rng(seed);
+  auto random_tile = [&] {
+    return TileCoord{static_cast<int>(rng.next_below(static_cast<std::uint64_t>(device.width()))),
+                     static_cast<int>(rng.next_below(static_cast<std::uint64_t>(device.height())))};
+  };
+  for (int n = 0; n < nets; ++n) {
+    Cell drv;
+    drv.type = CellType::kFf;
+    const CellId d = design.netlist.add_cell(std::move(drv));
+    const NetId net = design.netlist.add_net(1);
+    design.netlist.connect_output(d, 0, net);
+    const int fanout = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_fanout)));
+    std::vector<CellId> sinks;
+    for (int s = 0; s < fanout; ++s) {
+      Cell snk;
+      snk.type = CellType::kFf;
+      const CellId c = design.netlist.add_cell(std::move(snk));
+      design.netlist.connect_input(c, 0, net);
+      sinks.push_back(c);
+    }
+    design.phys.resize_for(design.netlist);
+    design.phys.cell_loc[d] = random_tile();
+    for (CellId c : sinks) design.phys.cell_loc[c] = random_tile();
+  }
+  return design;
+}
+
+/// Tree-connectivity check over a route's edges.
+bool connects(const RouteInfo& route, TileCoord from, TileCoord to) {
+  if (from == to) return true;
+  std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> adjacency;
+  for (const auto& [a, b] : route.edges) {
+    adjacency[{a.x, a.y}].push_back({b.x, b.y});
+    adjacency[{b.x, b.y}].push_back({a.x, a.y});
+  }
+  std::vector<std::pair<int, int>> stack{{from.x, from.y}};
+  std::set<std::pair<int, int>> seen{{from.x, from.y}};
+  while (!stack.empty()) {
+    auto v = stack.back();
+    stack.pop_back();
+    if (v == std::pair(to.x, to.y)) return true;
+    for (auto& u : adjacency[v]) {
+      if (seen.insert(u).second) stack.push_back(u);
+    }
+  }
+  return false;
+}
+
+class RouterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterFuzz, AlwaysProducesConnectedTrees) {
+  const Device device = make_tiny_device();
+  FuzzDesign design = make_random_design(device, 60, 4, GetParam());
+  const RouteResult result = route_design(device, design.netlist, design.phys);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.nets_routed, 60u);
+
+  for (NetId n = 0; n < design.netlist.net_count(); ++n) {
+    const Net& net = design.netlist.net(n);
+    if (net.sinks.empty()) continue;
+    const RouteInfo& route = design.phys.routes[n];
+    ASSERT_TRUE(route.routed) << "net " << n;
+    ASSERT_EQ(route.sink_delays_ns.size(), net.sinks.size());
+    const TileCoord from = design.phys.cell_loc[net.driver];
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const TileCoord to = design.phys.cell_loc[net.sinks[s].first];
+      EXPECT_TRUE(connects(route, from, to)) << "net " << n << " sink " << s;
+      EXPECT_GT(route.sink_delays_ns[s], 0.0);
+      // Delay grows at least linearly-ish with distance (wire model).
+      const int manhattan = std::abs(from.x - to.x) + std::abs(from.y - to.y);
+      EXPECT_GE(route.sink_delays_ns[s], 0.9 * 0.042 * manhattan);
+    }
+    // No duplicate edges in a route tree. (Note: build the key from
+    // values, not std::minmax of temporaries, which dangles.)
+    std::set<std::pair<std::pair<int, int>, std::pair<int, int>>> unique_edges;
+    for (const auto& [a, b] : route.edges) {
+      const std::pair<int, int> pa{a.x, a.y}, pb{b.x, b.y};
+      const auto key = pa < pb ? std::pair(pa, pb) : std::pair(pb, pa);
+      EXPECT_TRUE(unique_edges.insert(key).second) << "duplicate edge on net " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u, 31415u));
+
+TEST(RouterFuzz, HeavyLoadStillResolvesOnRealisticDevice) {
+  const Device device = make_xcku5p_sim();
+  FuzzDesign design = make_random_design(device, 400, 3, 2026);
+  const RouteResult result = route_design(device, design.netlist, design.phys);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.max_overuse, 0);
+  EXPECT_GT(result.total_wirelength, 0.0);
+}
+
+}  // namespace
+}  // namespace fpgasim

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "synth/builder.h"
+#include "timing/sta.h"
+
+namespace fpgasim {
+namespace {
+
+/// FF -> LUT -> FF chain with every cell at the same tile: critical path
+/// is fully predictable from the delay model.
+TEST(Sta, HandBuiltChainMatchesModel) {
+  const Device device = make_tiny_device();
+  const DelayModel dm;
+  NetlistBuilder b("chain");
+  const NetId d = b.in_port("d", 1);
+  const NetId q1 = b.ff(d, kInvalidNet, 1);
+  const NetId l1 = b.not1(q1, 1);
+  b.out_port("q", b.ff(l1, kInvalidNet, 1));
+  Netlist nl = std::move(b).take();
+
+  PhysState phys;
+  phys.resize_for(nl);
+  for (CellId c = 0; c < nl.cell_count(); ++c) phys.cell_loc[c] = TileCoord{3, 3};
+
+  const TimingResult result = run_sta(nl, phys, device, dm);
+  // ff.q + wire + lut + wire + ff.setup, wires at distance 0.
+  const double expected = dm.ff_clk_to_q + dm.wire_base + dm.lut + dm.wire_base + dm.ff_setup;
+  EXPECT_NEAR(result.critical_path_ns, expected, 1e-9);
+  EXPECT_NEAR(result.fmax_mhz, 1000.0 / expected, 1e-6);
+  EXPECT_GE(result.endpoints, 2u);
+  EXPECT_FALSE(result.critical_path.empty());
+}
+
+TEST(Sta, DistanceIncreasesCriticalPath) {
+  const Device device = make_tiny_device();
+  NetlistBuilder b("dist");
+  const NetId d = b.in_port("d", 1);
+  const NetId q1 = b.ff(d, kInvalidNet, 1);
+  b.out_port("q", b.ff(q1, kInvalidNet, 1));
+  Netlist nl = std::move(b).take();
+
+  PhysState near, far;
+  near.resize_for(nl);
+  far.resize_for(nl);
+  near.cell_loc = {TileCoord{3, 3}, TileCoord{4, 3}};
+  far.cell_loc = {TileCoord{1, 1}, TileCoord{20, 28}};
+  const double near_cp = run_sta(nl, near, device).critical_path_ns;
+  const double far_cp = run_sta(nl, far, device).critical_path_ns;
+  EXPECT_GT(far_cp, near_cp + 1.0);
+}
+
+TEST(Sta, SequentialElementsBreakPaths) {
+  const Device device = make_tiny_device();
+  // Two LUTs back to back vs. two LUTs with an FF between.
+  auto build = [&](bool pipelined) {
+    NetlistBuilder b("p");
+    NetId x = b.in_port("d", 1);
+    x = b.ff(x, kInvalidNet, 1);
+    x = b.not1(x, 1);
+    if (pipelined) x = b.ff(x, kInvalidNet, 1);
+    x = b.not1(x, 1);
+    b.out_port("q", b.ff(x, kInvalidNet, 1));
+    Netlist nl = std::move(b).take();
+    PhysState phys;
+    phys.resize_for(nl);
+    for (CellId c = 0; c < nl.cell_count(); ++c) phys.cell_loc[c] = TileCoord{5, 5};
+    return run_sta(nl, phys, device).critical_path_ns;
+  };
+  EXPECT_GT(build(false), build(true));
+}
+
+TEST(Sta, PipelinedDspBeatsCombinationalDsp) {
+  const Device device = make_tiny_device();
+  auto build = [&](int stages) {
+    NetlistBuilder b("dsp");
+    const NetId a = b.in_port("a", 16);
+    const NetId q = b.ff(a, kInvalidNet, 16);
+    const NetId p = b.dsp(q, q, kInvalidNet, 8, stages, 16);
+    b.out_port("o", b.ff(p, kInvalidNet, 16));
+    Netlist nl = std::move(b).take();
+    PhysState phys;
+    phys.resize_for(nl);
+    for (CellId c = 0; c < nl.cell_count(); ++c) phys.cell_loc[c] = TileCoord{4, 4};
+    return run_sta(nl, phys, device).fmax_mhz;
+  };
+  EXPECT_GT(build(1), build(0) * 1.3);
+}
+
+TEST(Sta, RoutedDelaysOverrideEstimates) {
+  const Device device = make_tiny_device();
+  NetlistBuilder b("r");
+  const NetId d = b.in_port("d", 1);
+  const NetId q1 = b.ff(d, kInvalidNet, 1);
+  b.out_port("q", b.ff(q1, kInvalidNet, 1));
+  Netlist nl = std::move(b).take();
+  PhysState phys;
+  phys.resize_for(nl);
+  phys.cell_loc = {TileCoord{2, 2}, TileCoord{3, 2}};
+
+  const double estimated = run_sta(nl, phys, device).critical_path_ns;
+  // Provide an (artificially slow) routed delay on the connecting net.
+  const NetId inner = nl.cell(1).inputs[0];
+  phys.routes[inner].routed = true;
+  phys.routes[inner].sink_delays_ns = {5.0};
+  const double routed = run_sta(nl, phys, device).critical_path_ns;
+  EXPECT_GT(routed, estimated + 3.0);
+}
+
+TEST(Sta, FanoutAddsDelay) {
+  const Device device = make_tiny_device();
+  auto build = [&](int fanout) {
+    NetlistBuilder b("f");
+    const NetId d = b.in_port("d", 1);
+    const NetId q = b.ff(d, kInvalidNet, 1);
+    for (int i = 0; i < fanout; ++i) b.out_port("q" + std::to_string(i), b.ff(q, kInvalidNet, 1));
+    Netlist nl = std::move(b).take();
+    PhysState phys;
+    phys.resize_for(nl);
+    for (CellId c = 0; c < nl.cell_count(); ++c) phys.cell_loc[c] = TileCoord{6, 6};
+    return run_sta(nl, phys, device).critical_path_ns;
+  };
+  EXPECT_GT(build(12), build(1));
+}
+
+TEST(Sta, DiscontinuityPenaltyInEstimates) {
+  const Device device = make_tiny_device();  // IO column at x=12
+  NetlistBuilder b("disc");
+  const NetId d = b.in_port("d", 1);
+  const NetId q1 = b.ff(d, kInvalidNet, 1);
+  b.out_port("q", b.ff(q1, kInvalidNet, 1));
+  Netlist nl = std::move(b).take();
+  PhysState same, cross;
+  same.resize_for(nl);
+  cross.resize_for(nl);
+  same.cell_loc = {TileCoord{4, 5}, TileCoord{10, 5}};   // distance 6
+  cross.cell_loc = {TileCoord{9, 5}, TileCoord{15, 5}};  // distance 6, crosses IO
+  EXPECT_GT(run_sta(nl, cross, device).critical_path_ns,
+            run_sta(nl, same, device).critical_path_ns + 0.2);
+}
+
+TEST(Sta, UnplacedDesignStillAnalyzesLogicDepth) {
+  NetlistBuilder b("u");
+  NetId x = b.in_port("d", 8);
+  x = b.ff(x, kInvalidNet, 8);
+  for (int i = 0; i < 4; ++i) x = b.add(x, x, 8);
+  b.out_port("q", b.ff(x, kInvalidNet, 8));
+  Netlist nl = std::move(b).take();
+  PhysState phys;  // empty: no placement at all
+  const Device device = make_tiny_device();
+  const TimingResult result = run_sta(nl, phys, device);
+  EXPECT_GT(result.critical_path_ns, 1.0);  // 4 adder levels + wire estimates
+  EXPECT_GT(result.fmax_mhz, 0.0);
+}
+
+TEST(Sta, SummaryMentionsFmax) {
+  TimingResult result;
+  result.critical_path_ns = 2.0;
+  result.fmax_mhz = 500.0;
+  result.endpoints = 3;
+  EXPECT_NE(result.summary().find("500.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpgasim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sim/golden.h"
+#include "sim/simulator.h"
+#include "stream_harness.h"
+#include "synth/layers.h"
+
+namespace fpgasim {
+namespace {
+
+using testhelpers::expect_tensor_eq;
+using testhelpers::random_tensor;
+using testhelpers::run_stream;
+
+struct PoolCase {
+  int channels, kernel, h, w;
+  bool fuse_relu;
+};
+
+class PoolComponent : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolComponent, MatchesGoldenModel) {
+  const PoolCase& tc = GetParam();
+  PoolParams p;
+  p.name = "pool_t";
+  p.channels = tc.channels;
+  p.kernel = tc.kernel;
+  p.in_h = tc.h;
+  p.in_w = tc.w;
+  p.fuse_relu = tc.fuse_relu;
+
+  const Tensor input = random_tensor(tc.channels, tc.h, tc.w, 91, 100);
+  Tensor expected = golden_maxpool(input, tc.kernel);
+  if (tc.fuse_relu) expected = golden_relu(expected);
+
+  const Netlist nl = make_pool_component(p);
+  ASSERT_TRUE(nl.validate().empty());
+  Simulator sim(nl);
+  const auto out = run_stream(sim, input.data, expected.data.size());
+  expect_tensor_eq(out, expected.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoolComponent,
+                         ::testing::Values(PoolCase{1, 2, 4, 4, false},
+                                           PoolCase{1, 2, 4, 4, true},
+                                           PoolCase{3, 2, 6, 6, true},
+                                           PoolCase{2, 3, 9, 9, false},
+                                           PoolCase{4, 2, 8, 8, true},
+                                           PoolCase{6, 2, 10, 10, true},
+                                           PoolCase{1, 4, 8, 8, false},
+                                           PoolCase{5, 2, 6, 4, true}));
+
+TEST(PoolComponent, ProcessesBackToBackImages) {
+  PoolParams p;
+  p.channels = 2;
+  p.kernel = 2;
+  p.in_h = 4;
+  p.in_w = 4;
+  const Netlist nl = make_pool_component(p);
+  Simulator sim(nl);
+  for (int image = 0; image < 3; ++image) {
+    const Tensor input = random_tensor(2, 4, 4, 100 + static_cast<std::uint64_t>(image));
+    const Tensor expected = golden_maxpool(input, 2);
+    const auto out = run_stream(sim, input.data, expected.data.size());
+    expect_tensor_eq(out, expected.data);
+  }
+}
+
+TEST(PoolComponent, UsesNoDspBlocks) {
+  PoolParams p;
+  p.channels = 8;
+  p.kernel = 2;
+  p.in_h = 16;
+  p.in_w = 16;
+  const Netlist nl = make_pool_component(p);
+  EXPECT_EQ(nl.stats().resources.dsp, 0);  // pure LUT/carry controller
+}
+
+TEST(ReluComponent, RectifiesStream) {
+  const Netlist nl = make_relu_component("relu_t");
+  Simulator sim(nl);
+  sim.set_input("out_ready", 1);
+  sim.set_input("in_valid", 1);
+  const std::int16_t values[] = {-300, -1, 0, 1, 250};
+  std::vector<std::int16_t> got;
+  for (std::int16_t v : values) {
+    sim.set_input("in_data", static_cast<std::uint16_t>(v));
+    sim.step();
+    if (sim.get_output("out_valid") == 1) {
+      got.push_back(static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(sim.get_output("out_data"))));
+    }
+  }
+  sim.set_input("in_valid", 0);
+  sim.step();
+  if (sim.get_output("out_valid") == 1) {
+    got.push_back(static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(sim.get_output("out_data"))));
+  }
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 0);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 1);
+  EXPECT_EQ(got[4], 250);
+}
+
+}  // namespace
+}  // namespace fpgasim

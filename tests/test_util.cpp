@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fpgasim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // roughly uniform
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(5);
+  const auto first = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("csv");
+  t.set_header({"x"});
+  t.add_row({"a,b\"c"});
+  EXPECT_EQ(t.to_csv(), "x\n\"a,b\"\"c\"\n");
+}
+
+TEST(Table, DropsCellsBeyondHeader) {
+  Table t("wide");
+  t.set_header({"only"});
+  t.add_row({"kept", "dropped"});
+  EXPECT_EQ(t.to_string().find("dropped"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.695, 1), "69.5%");
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(5, 5, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, RethrowsWorkerException) {
+  EXPECT_THROW(parallel_for(0, 16,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Stopwatch, MeasuresElapsedNonNegative) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.restart();
+  EXPECT_GE(sw.milliseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fpgasim

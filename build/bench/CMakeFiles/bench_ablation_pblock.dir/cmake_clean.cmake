@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pblock.dir/bench_ablation_pblock.cpp.o"
+  "CMakeFiles/bench_ablation_pblock.dir/bench_ablation_pblock.cpp.o.d"
+  "bench_ablation_pblock"
+  "bench_ablation_pblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_portplan.dir/bench_ablation_portplan.cpp.o"
+  "CMakeFiles/bench_ablation_portplan.dir/bench_ablation_portplan.cpp.o.d"
+  "bench_ablation_portplan"
+  "bench_ablation_portplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_portplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

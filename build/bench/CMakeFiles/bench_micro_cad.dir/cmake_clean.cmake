@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cad.dir/bench_micro_cad.cpp.o"
+  "CMakeFiles/bench_micro_cad.dir/bench_micro_cad.cpp.o.d"
+  "bench_micro_cad"
+  "bench_micro_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lenet_perf.dir/bench_table3_lenet_perf.cpp.o"
+  "CMakeFiles/bench_table3_lenet_perf.dir/bench_table3_lenet_perf.cpp.o.d"
+  "bench_table3_lenet_perf"
+  "bench_table3_lenet_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lenet_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

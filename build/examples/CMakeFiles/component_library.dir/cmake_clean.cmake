@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_library.dir/component_library.cpp.o"
+  "CMakeFiles/component_library.dir/component_library.cpp.o.d"
+  "component_library"
+  "component_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenet_accelerator.dir/lenet_accelerator.cpp.o"
+  "CMakeFiles/lenet_accelerator.dir/lenet_accelerator.cpp.o.d"
+  "lenet_accelerator"
+  "lenet_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenet_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

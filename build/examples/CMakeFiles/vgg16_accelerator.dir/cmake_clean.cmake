@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg16_accelerator.dir/vgg16_accelerator.cpp.o"
+  "CMakeFiles/vgg16_accelerator.dir/vgg16_accelerator.cpp.o.d"
+  "vgg16_accelerator"
+  "vgg16_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg16_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_alloc.dir/best_fit.cpp.o"
+  "CMakeFiles/fpgasim_alloc.dir/best_fit.cpp.o.d"
+  "libfpgasim_alloc.a"
+  "libfpgasim_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnn/impl.cpp" "src/cnn/CMakeFiles/fpgasim_cnn.dir/impl.cpp.o" "gcc" "src/cnn/CMakeFiles/fpgasim_cnn.dir/impl.cpp.o.d"
+  "/root/repo/src/cnn/model.cpp" "src/cnn/CMakeFiles/fpgasim_cnn.dir/model.cpp.o" "gcc" "src/cnn/CMakeFiles/fpgasim_cnn.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fpgasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgasim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgasim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/fpgasim_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

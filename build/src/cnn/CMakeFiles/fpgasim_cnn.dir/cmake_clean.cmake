@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_cnn.dir/impl.cpp.o"
+  "CMakeFiles/fpgasim_cnn.dir/impl.cpp.o.d"
+  "CMakeFiles/fpgasim_cnn.dir/model.cpp.o"
+  "CMakeFiles/fpgasim_cnn.dir/model.cpp.o.d"
+  "libfpgasim_cnn.a"
+  "libfpgasim_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

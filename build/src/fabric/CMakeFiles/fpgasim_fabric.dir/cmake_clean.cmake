@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_fabric.dir/device.cpp.o"
+  "CMakeFiles/fpgasim_fabric.dir/device.cpp.o.d"
+  "CMakeFiles/fpgasim_fabric.dir/pblock.cpp.o"
+  "CMakeFiles/fpgasim_fabric.dir/pblock.cpp.o.d"
+  "libfpgasim_fabric.a"
+  "libfpgasim_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_flow.dir/build.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/build.cpp.o.d"
+  "CMakeFiles/fpgasim_flow.dir/checkpoint_db.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/checkpoint_db.cpp.o.d"
+  "CMakeFiles/fpgasim_flow.dir/compose.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/compose.cpp.o.d"
+  "CMakeFiles/fpgasim_flow.dir/monolithic.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/monolithic.cpp.o.d"
+  "CMakeFiles/fpgasim_flow.dir/ooc.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/ooc.cpp.o.d"
+  "CMakeFiles/fpgasim_flow.dir/preimpl.cpp.o"
+  "CMakeFiles/fpgasim_flow.dir/preimpl.cpp.o.d"
+  "libfpgasim_flow.a"
+  "libfpgasim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_netlist.dir/checkpoint.cpp.o"
+  "CMakeFiles/fpgasim_netlist.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fpgasim_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fpgasim_netlist.dir/netlist.cpp.o.d"
+  "libfpgasim_netlist.a"
+  "libfpgasim_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/macro_placer.cpp" "src/place/CMakeFiles/fpgasim_place.dir/macro_placer.cpp.o" "gcc" "src/place/CMakeFiles/fpgasim_place.dir/macro_placer.cpp.o.d"
+  "/root/repo/src/place/place.cpp" "src/place/CMakeFiles/fpgasim_place.dir/place.cpp.o" "gcc" "src/place/CMakeFiles/fpgasim_place.dir/place.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fpgasim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/fpgasim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgasim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

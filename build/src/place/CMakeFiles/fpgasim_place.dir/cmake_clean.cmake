@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_place.dir/macro_placer.cpp.o"
+  "CMakeFiles/fpgasim_place.dir/macro_placer.cpp.o.d"
+  "CMakeFiles/fpgasim_place.dir/place.cpp.o"
+  "CMakeFiles/fpgasim_place.dir/place.cpp.o.d"
+  "libfpgasim_place.a"
+  "libfpgasim_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

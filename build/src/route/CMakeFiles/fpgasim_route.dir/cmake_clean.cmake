@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_route.dir/router.cpp.o"
+  "CMakeFiles/fpgasim_route.dir/router.cpp.o.d"
+  "libfpgasim_route.a"
+  "libfpgasim_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

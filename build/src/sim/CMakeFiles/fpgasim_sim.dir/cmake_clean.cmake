@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_sim.dir/golden.cpp.o"
+  "CMakeFiles/fpgasim_sim.dir/golden.cpp.o.d"
+  "CMakeFiles/fpgasim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fpgasim_sim.dir/simulator.cpp.o.d"
+  "libfpgasim_sim.a"
+  "libfpgasim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_synth.dir/builder.cpp.o"
+  "CMakeFiles/fpgasim_synth.dir/builder.cpp.o.d"
+  "CMakeFiles/fpgasim_synth.dir/kernels.cpp.o"
+  "CMakeFiles/fpgasim_synth.dir/kernels.cpp.o.d"
+  "CMakeFiles/fpgasim_synth.dir/layers.cpp.o"
+  "CMakeFiles/fpgasim_synth.dir/layers.cpp.o.d"
+  "CMakeFiles/fpgasim_synth.dir/streaming_conv.cpp.o"
+  "CMakeFiles/fpgasim_synth.dir/streaming_conv.cpp.o.d"
+  "libfpgasim_synth.a"
+  "libfpgasim_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

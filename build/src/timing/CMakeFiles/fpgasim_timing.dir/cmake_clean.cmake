@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_timing.dir/sta.cpp.o"
+  "CMakeFiles/fpgasim_timing.dir/sta.cpp.o.d"
+  "libfpgasim_timing.a"
+  "libfpgasim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_util.dir/log.cpp.o"
+  "CMakeFiles/fpgasim_util.dir/log.cpp.o.d"
+  "CMakeFiles/fpgasim_util.dir/table.cpp.o"
+  "CMakeFiles/fpgasim_util.dir/table.cpp.o.d"
+  "CMakeFiles/fpgasim_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fpgasim_util.dir/thread_pool.cpp.o.d"
+  "libfpgasim_util.a"
+  "libfpgasim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

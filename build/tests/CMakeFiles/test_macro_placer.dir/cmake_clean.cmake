@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macro_placer.dir/test_macro_placer.cpp.o"
+  "CMakeFiles/test_macro_placer.dir/test_macro_placer.cpp.o.d"
+  "test_macro_placer"
+  "test_macro_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macro_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

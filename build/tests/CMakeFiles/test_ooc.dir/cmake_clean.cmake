@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooc.dir/test_ooc.cpp.o"
+  "CMakeFiles/test_ooc.dir/test_ooc.cpp.o.d"
+  "test_ooc"
+  "test_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_fuzz.dir/test_route_fuzz.cpp.o"
+  "CMakeFiles/test_route_fuzz.dir/test_route_fuzz.cpp.o.d"
+  "test_route_fuzz"
+  "test_route_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

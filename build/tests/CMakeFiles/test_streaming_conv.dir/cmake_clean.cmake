@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_conv.dir/test_streaming_conv.cpp.o"
+  "CMakeFiles/test_streaming_conv.dir/test_streaming_conv.cpp.o.d"
+  "test_streaming_conv"
+  "test_streaming_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

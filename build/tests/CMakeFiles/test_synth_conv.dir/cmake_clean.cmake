@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_conv.dir/test_synth_conv.cpp.o"
+  "CMakeFiles/test_synth_conv.dir/test_synth_conv.cpp.o.d"
+  "test_synth_conv"
+  "test_synth_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -51,6 +51,13 @@ conv c2 out=2 k=3
   table.add_row({"stitching share", Table::pct(report.stitch_fraction(), 1)});
   table.print();
 
+  // Every stage ran under the design rule checker; print the final verdict
+  // of the post-routing pass (warnings are informational, errors throw).
+  std::printf("post-route %s\n", report.drc.summary().c_str());
+  for (const DrcViolation& v : report.drc.violations()) {
+    std::printf("  %s\n", v.to_string().c_str());
+  }
+
   // 5. Run one image through the composed, placed-and-routed netlist and
   // compare with the golden reference.
   Tensor image = Tensor::zeros(2, 12, 12);

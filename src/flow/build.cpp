@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "drc/drc.h"
 #include "flow/compose.h"
 #include "synth/layers.h"
 #include "util/thread_pool.h"
@@ -148,6 +149,10 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
     OocOptions local = ooc;
     local.seed = ooc.seed + i * 131;
     OocResult result = implement_ooc(device, std::move(netlist), local);
+    // Gate every freshly implemented component on a full checkpoint DRC
+    // before it becomes reusable database content.
+    enforce_drc(run_checkpoint_drc(result.checkpoint, &device),
+                "prepare_component_db '" + missing_keys[i] + "'");
     std::lock_guard<std::mutex> lock(db_mutex);
     db.put(missing_keys[i], std::move(result.checkpoint));
   });

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "drc/drc.h"
+
 namespace fpgasim {
 
 void CheckpointDb::put(const std::string& key, Checkpoint checkpoint) {
@@ -53,6 +55,9 @@ std::size_t CheckpointDb::load_dir(const std::string& dir) {
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.path().extension() != ".fdcp") continue;
     Checkpoint checkpoint = load_checkpoint(entry.path().string());
+    // A checkpoint only enters the component database if it passes DRC
+    // (no device context here: device-dependent rules run at use time).
+    enforce_drc(run_checkpoint_drc(checkpoint), "load " + entry.path().string());
     entries_[entry.path().stem().string()] = std::move(checkpoint);
     ++loaded;
   }

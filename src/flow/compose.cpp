@@ -20,6 +20,13 @@ void alias_net(Netlist& netlist, NetId driverless, NetId driven) {
   dead.sinks.clear();
 }
 
+void alias_net(Netlist& netlist, PhysState& phys, NetId driverless, NetId driven) {
+  alias_net(netlist, driverless, driven);
+  if (driverless != driven && driverless < phys.routes.size()) {
+    phys.routes[driverless] = RouteInfo{};
+  }
+}
+
 void ComposedDesign::translate_instance(std::size_t index, int dx, int dy) {
   const Instance& inst = instances[index];
   for (CellId c = inst.cell_offset; c < inst.cell_end; ++c) {
@@ -46,6 +53,16 @@ std::vector<MacroItem> ComposedDesign::macro_items() const {
     items.push_back(MacroItem{inst.name, inst.footprint});
   }
   return items;
+}
+
+std::vector<DrcInstance> ComposedDesign::drc_instances() const {
+  std::vector<DrcInstance> out;
+  out.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    out.push_back(DrcInstance{inst.name, inst.footprint, inst.cell_offset, inst.cell_end,
+                              inst.net_offset, inst.net_end});
+  }
+  return out;
 }
 
 Composer::Composer(std::string top_name) { design_.netlist.set_name(std::move(top_name)); }
@@ -82,9 +99,9 @@ NetId Composer::port_net(int instance, const std::string& port_name) const {
 
 void Composer::connect(int from, int to) {
   // Data/valid flow downstream; ready flows back upstream.
-  alias_net(design_.netlist, port_net(to, "in_data"), port_net(from, "out_data"));
-  alias_net(design_.netlist, port_net(to, "in_valid"), port_net(from, "out_valid"));
-  alias_net(design_.netlist, port_net(from, "out_ready"), port_net(to, "in_ready"));
+  alias_net(design_.netlist, design_.phys, port_net(to, "in_data"), port_net(from, "out_data"));
+  alias_net(design_.netlist, design_.phys, port_net(to, "in_valid"), port_net(from, "out_valid"));
+  alias_net(design_.netlist, design_.phys, port_net(from, "out_ready"), port_net(to, "in_ready"));
   design_.macro_nets.push_back(MacroNet{{from, to}, 1.0});
 }
 
@@ -103,7 +120,16 @@ void Composer::expose_output(int instance) {
   nl.add_port(Port{"out_ready", PortDir::kInput, 1, port_net(instance, "out_ready")});
 }
 
-ComposedDesign Composer::finish() && { return std::move(design_); }
+ComposedDesign Composer::finish() && {
+  // Gate the stitched netlist on the structural DRC subset before handing
+  // it to placement. Unexposed stream inputs are legally driverless until
+  // expose_input()/expose_output(), so net-dangling is waived here; the
+  // flow-level gates re-run it unwaived after the boundary is exposed.
+  DrcOptions opt;
+  opt.waived_rules = {"net-dangling"};
+  enforce_drc(run_structural_drc(design_.netlist, opt), "compose");
+  return std::move(design_);
+}
 
 Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::string& name) {
   Netlist top(name);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "drc/drc.h"
 #include "fabric/pblock.h"
 #include "netlist/checkpoint.h"
 #include "netlist/netlist.h"
@@ -17,6 +18,11 @@ namespace fpgasim {
 /// Rewires every sink of `driverless` (an input-port net with no driver)
 /// onto `driven`, merging the two nets. The driverless net becomes dead.
 void alias_net(Netlist& netlist, NetId driverless, NetId driven);
+
+/// Physical-state aware overload: additionally discards any stale locked
+/// route of the dead net so its orphaned wires stop charging channel
+/// capacity (and stop confusing routing DRC).
+void alias_net(Netlist& netlist, PhysState& phys, NetId driverless, NetId driven);
 
 struct ComposedDesign {
   Netlist netlist;
@@ -41,6 +47,9 @@ struct ComposedDesign {
 
   /// MacroItem view of the instances.
   std::vector<MacroItem> macro_items() const;
+
+  /// DrcInstance view of the instances (current footprints), for run_drc.
+  std::vector<DrcInstance> drc_instances() const;
 };
 
 /// Builds compositions. Checkpoints passed to add_instance must stay alive
@@ -63,6 +72,9 @@ class Composer {
   /// Exposes `instance`'s output stream as top-level ports.
   void expose_output(int instance);
 
+  /// Finalizes the composition. Runs the structural DRC subset over the
+  /// stitched netlist and throws on errors ("net-dangling" is waived:
+  /// unexposed stream inputs are legally driverless until expose_*()).
   ComposedDesign finish() &&;
 
  private:

@@ -20,6 +20,20 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
   MonoReport report;
   Stopwatch total;
 
+  // DRC gate: verifies the design between stages and throws on errors.
+  const auto drc_gate = [&](unsigned stages, DrcReport& into, const char* where) {
+    if (!opt.drc) return;
+    Stopwatch watch;
+    DrcContext ctx;
+    ctx.netlist = &netlist;
+    ctx.phys = &phys;
+    ctx.device = &device;
+    ctx.channel_capacity = opt.route.channel_capacity;
+    into = run_drc(ctx, stages, opt.drc_options);
+    report.drc_seconds += watch.seconds();
+    enforce_drc(into, where);
+  };
+
   // Clustering + placement over the whole device.
   Stopwatch stage;
   const Clustering clustering = cluster_netlist(netlist, opt.cluster_size);
@@ -45,6 +59,7 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
   const SaResult placement = place_sa(device, items, nets, sa);
   assign_cells_to_tiles(device, netlist, clustering, placement, sa, phys);
   report.place_seconds = stage.seconds();
+  drc_gate(kDrcStructural | kDrcPlacement, report.drc_place, "monolithic after placement");
 
   // Full routing.
   stage.restart();
@@ -163,6 +178,9 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
     }
     report.phys_opt_seconds = stage.seconds();
   }
+
+  drc_gate(kDrcStructural | kDrcPlacement | kDrcRouting, report.drc,
+           "monolithic after routing");
 
   report.stats = netlist.stats();
   report.total_seconds = total.seconds();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "drc/drc.h"
 #include "fabric/device.h"
 #include "netlist/netlist.h"
 #include "netlist/phys.h"
@@ -22,6 +23,8 @@ struct MonoOptions {
   bool phys_opt = true;
   int replication_fanout = 48;  // duplicate drivers above this fanout
   RouteOptions route;
+  bool drc = true;         // run the DRC gate after placement and routing
+  DrcOptions drc_options;  // waivers forwarded to every gate
 };
 
 struct MonoReport {
@@ -37,6 +40,11 @@ struct MonoReport {
   RouteResult route;
   std::size_t inserted_ffs = 0;
   std::size_t replicated_drivers = 0;
+
+  // DRC gate results (all empty when MonoOptions::drc is false).
+  double drc_seconds = 0.0;
+  DrcReport drc_place;  // structural + placement, after SA placement
+  DrcReport drc;        // full check, after routing + phys_opt
 };
 
 /// Runs the baseline flow in place: `netlist` gains phys-opt cells and

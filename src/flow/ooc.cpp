@@ -136,6 +136,7 @@ OocResult implement_ooc(const Device& device, Netlist netlist, const OocOptions&
       best.strategy = s;
       best.checkpoint.phys = std::move(phys);
       best.checkpoint.pblock = *pblock;
+      best.checkpoint.port_pins = pins;
     }
   }
   if (!have_best) {

@@ -16,6 +16,21 @@ PreImplReport run_preimpl_flow(const Device& device,
   PreImplReport report;
   Stopwatch total;
 
+  // DRC gate: verifies the design between stages and throws on errors.
+  const auto drc_gate = [&](unsigned stages, DrcReport& into, const char* where) {
+    if (!opt.drc) return;
+    Stopwatch watch;
+    DrcContext ctx;
+    ctx.netlist = &out.netlist;
+    ctx.phys = &out.phys;
+    ctx.device = &device;
+    ctx.instances = out.drc_instances();
+    ctx.channel_capacity = opt.route.channel_capacity;
+    into = run_drc(ctx, stages, opt.drc_options);
+    report.drc_seconds += watch.seconds();
+    enforce_drc(into, where);
+  };
+
   // Architecture composition: fill black boxes, insert the stream nets.
   Stopwatch stage;
   Composer composer("preimpl_top");
@@ -39,6 +54,7 @@ PreImplReport run_preimpl_flow(const Device& device,
   composer.expose_output(static_cast<int>(chain.size()) - 1);
   out = std::move(composer).finish();
   report.stitch_seconds = stage.seconds();
+  drc_gate(kDrcStructural, report.drc_compose, "preimpl after compose");
 
   // Component placement: relocation of locked pblocks (Algorithm 1).
   stage.restart();
@@ -53,6 +69,7 @@ PreImplReport run_preimpl_flow(const Device& device,
                            report.macro.offsets[i].second);
   }
   report.place_seconds = stage.seconds();
+  drc_gate(kDrcStructural | kDrcPlacement, report.drc_place, "preimpl after placement");
 
   // Inter-component routing: only the stitched nets are open; everything
   // inside the components is locked and merely charges wire usage.
@@ -64,6 +81,7 @@ PreImplReport run_preimpl_flow(const Device& device,
     throw std::runtime_error("pre-implemented flow: routing failed: " + report.route.error);
   }
   report.route_seconds = stage.seconds();
+  drc_gate(kDrcStructural | kDrcPlacement | kDrcRouting, report.drc, "preimpl after routing");
 
   stage.restart();
   report.timing = run_sta(out.netlist, out.phys, device);

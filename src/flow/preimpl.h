@@ -23,6 +23,8 @@ struct PreImplOptions {
   std::uint64_t seed = 1;
   MacroPlaceOptions macro;
   RouteOptions route;
+  bool drc = true;         // run the DRC gate after compose/place/route
+  DrcOptions drc_options;  // waivers forwarded to every gate
 };
 
 struct PreImplReport {
@@ -40,6 +42,12 @@ struct PreImplReport {
   TimingResult timing;
   RouteResult route;
   MacroPlaceResult macro;
+
+  // DRC gate results (all empty when PreImplOptions::drc is false).
+  double drc_seconds = 0.0;
+  DrcReport drc_compose;  // structural subset, after stitching
+  DrcReport drc_place;    // + placement legality, after relocation
+  DrcReport drc;          // full check, after inter-component routing
 
   double slowest_component_mhz = 0.0;
   std::string slowest_component;

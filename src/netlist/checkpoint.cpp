@@ -8,7 +8,8 @@ namespace fpgasim {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46444350;  // "FDCP"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;         // v3 added partition pins
+constexpr std::uint32_t kMinVersion = 2;      // v2 files (no pin plan) still load
 
 class Writer {
  public:
@@ -36,10 +37,16 @@ class Writer {
   std::ofstream out_;
 };
 
+/// Bounds-checked reader: never trusts a length field further than the
+/// bytes actually left in the file, so a corrupted header cannot trigger
+/// a multi-gigabyte allocation or a silent short read.
 class Reader {
  public:
-  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary), path_(path) {
     if (!in_) throw std::runtime_error("cannot open for read: " + path);
+    in_.seekg(0, std::ios::end);
+    remaining_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
   }
   std::uint8_t u8() { return read<std::uint8_t>(); }
   std::uint16_t u16() { return read<std::uint16_t>(); }
@@ -49,9 +56,23 @@ class Reader {
   double f64() { return read<double>(); }
   std::string str() {
     const std::uint32_t len = u32();
+    if (len > remaining_) fail("string length exceeds file size");
     std::string s(len, '\0');
     raw(s.data(), len);
     return s;
+  }
+  /// Reads an element count and rejects it unless `count * min_elem_bytes`
+  /// bytes are still available.
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (static_cast<std::uint64_t>(n) * min_elem_bytes > remaining_) {
+      fail("element count exceeds file size");
+    }
+    return n;
+  }
+  std::uint64_t remaining() const { return remaining_; }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("malformed fdcp file (" + why + "): " + path_);
   }
 
  private:
@@ -62,10 +83,14 @@ class Reader {
     return v;
   }
   void raw(void* data, std::size_t size) {
+    if (size > remaining_) fail("truncated");
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (!in_) throw std::runtime_error("checkpoint truncated");
+    if (!in_) fail("truncated");
+    remaining_ -= size;
   }
   std::ifstream in_;
+  std::string path_;
+  std::uint64_t remaining_ = 0;
 };
 
 }  // namespace
@@ -152,23 +177,37 @@ void save_checkpoint(const std::string& path, const Checkpoint& cp) {
   w.f64(cp.meta.implement_seconds);
   w.str(cp.meta.strategy);
   w.str(cp.meta.device);
+  w.u32(static_cast<std::uint32_t>(cp.port_pins.size()));
+  for (const TileCoord& pin : cp.port_pins) {
+    w.i32(pin.x);
+    w.i32(pin.y);
+  }
   w.check();
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
   Reader r(path);
   if (r.u32() != kMagic) throw std::runtime_error("not an fdcp file: " + path);
-  if (r.u32() != kVersion) throw std::runtime_error("fdcp version mismatch: " + path);
+  const std::uint32_t version = r.u32();
+  if (version < kMinVersion || version > kVersion) {
+    throw std::runtime_error("fdcp version mismatch (got " + std::to_string(version) +
+                             ", support " + std::to_string(kMinVersion) + ".." +
+                             std::to_string(kVersion) + "): " + path);
+  }
 
   Checkpoint cp;
   cp.netlist.set_name(r.str());
   Netlist& nl = cp.netlist;
 
-  const std::uint32_t num_cells = r.u32();
+  const std::uint32_t num_cells = r.count(24);  // fixed fields per serialized cell
   for (std::uint32_t c = 0; c < num_cells; ++c) {
     Cell cell;
-    cell.type = static_cast<CellType>(r.u8());
-    cell.op = static_cast<LutOp>(r.u8());
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(CellType::kBram)) r.fail("cell type out of range");
+    cell.type = static_cast<CellType>(type);
+    const std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(LutOp::kTruth6)) r.fail("lut op out of range");
+    cell.op = static_cast<LutOp>(op);
     cell.width = r.u16();
     cell.depth = r.u16();
     cell.stages = r.u8();
@@ -176,14 +215,14 @@ Checkpoint load_checkpoint(const std::string& path) {
     cell.bram_depth = r.u32();
     cell.init = r.u64();
     cell.rom_id = r.i32();
-    cell.inputs.resize(r.u32());
+    cell.inputs.resize(r.count(sizeof(std::uint32_t)));
     for (NetId& in : cell.inputs) in = r.u32();
-    cell.outputs.resize(r.u32());
+    cell.outputs.resize(r.count(sizeof(std::uint32_t)));
     for (NetId& out : cell.outputs) out = r.u32();
     cell.name = r.str();
     nl.add_cell(std::move(cell));
   }
-  const std::uint32_t num_nets = r.u32();
+  const std::uint32_t num_nets = r.count(13);  // fixed fields per serialized net
   for (std::uint32_t n = 0; n < num_nets; ++n) {
     const NetId id = nl.add_net(1);
     Net& net = nl.net(id);
@@ -191,45 +230,48 @@ Checkpoint load_checkpoint(const std::string& path) {
     net.driver_pin = r.u16();
     net.width = r.u16();
     net.routing_locked = r.u8() != 0;
-    net.sinks.resize(r.u32());
+    net.sinks.resize(r.count(sizeof(std::uint32_t) + sizeof(std::uint16_t)));
     for (auto& [cell, pin] : net.sinks) {
       cell = r.u32();
       pin = r.u16();
     }
     net.name = r.str();
   }
-  const std::uint32_t num_ports = r.u32();
+  const std::uint32_t num_ports = r.count(11);  // fixed fields per serialized port
   for (std::uint32_t p = 0; p < num_ports; ++p) {
     Port port;
     port.name = r.str();
-    port.dir = static_cast<PortDir>(r.u8());
+    const std::uint8_t dir = r.u8();
+    if (dir > static_cast<std::uint8_t>(PortDir::kOutput)) r.fail("port direction out of range");
+    port.dir = static_cast<PortDir>(dir);
     port.width = r.u16();
     port.net = r.u32();
+    if (port.net >= nl.net_count()) r.fail("port bound to out-of-range net");
     nl.add_port(std::move(port));
   }
-  const std::uint32_t num_roms = r.u32();
+  const std::uint32_t num_roms = r.count(sizeof(std::uint32_t));
   for (std::uint32_t i = 0; i < num_roms; ++i) {
-    std::vector<std::uint64_t> rom(r.u32());
+    std::vector<std::uint64_t> rom(r.count(sizeof(std::uint64_t)));
     for (std::uint64_t& word : rom) word = r.u64();
     nl.add_rom(std::move(rom));
   }
 
-  cp.phys.cell_loc.resize(r.u32());
+  cp.phys.cell_loc.resize(r.count(2 * sizeof(std::int32_t)));
   for (TileCoord& loc : cp.phys.cell_loc) {
     loc.x = r.i32();
     loc.y = r.i32();
   }
-  cp.phys.routes.resize(r.u32());
+  cp.phys.routes.resize(r.count(9));  // fixed fields per serialized route
   for (RouteInfo& route : cp.phys.routes) {
     route.routed = r.u8() != 0;
-    route.edges.resize(r.u32());
+    route.edges.resize(r.count(4 * sizeof(std::int32_t)));
     for (auto& [a, b] : route.edges) {
       a.x = r.i32();
       a.y = r.i32();
       b.x = r.i32();
       b.y = r.i32();
     }
-    route.sink_delays_ns.resize(r.u32());
+    route.sink_delays_ns.resize(r.count(sizeof(double)));
     for (double& d : route.sink_delays_ns) d = r.f64();
   }
 
@@ -242,6 +284,28 @@ Checkpoint load_checkpoint(const std::string& path) {
   cp.meta.implement_seconds = r.f64();
   cp.meta.strategy = r.str();
   cp.meta.device = r.str();
+  if (version >= 3) {
+    cp.port_pins.resize(r.count(2 * sizeof(std::int32_t)));
+    for (TileCoord& pin : cp.port_pins) {
+      pin.x = r.i32();
+      pin.y = r.i32();
+    }
+  }
+  if (r.remaining() != 0) r.fail("trailing bytes");
+
+  // A checkpoint is only usable if the payload is self-consistent: the
+  // physical state must align with the netlist and the netlist itself
+  // must be structurally valid.
+  if (cp.phys.cell_loc.size() != nl.cell_count() || cp.phys.routes.size() != nl.net_count()) {
+    r.fail("physical state misaligned with netlist");
+  }
+  if (!cp.port_pins.empty() && cp.port_pins.size() != nl.ports().size()) {
+    r.fail("partition pin plan misaligned with ports");
+  }
+  const std::vector<std::string> problems = nl.validate();
+  if (!problems.empty()) {
+    r.fail("invalid netlist: " + problems.front());
+  }
   return cp;
 }
 

@@ -25,13 +25,19 @@ struct Checkpoint {
   PhysState phys;
   Pblock pblock;
   CheckpointMeta meta;
+  /// Planned partition-pin tile of each module port (aligned with
+  /// Netlist::ports(); empty when no pin plan was recorded).
+  std::vector<TileCoord> port_pins;
 };
 
 /// Writes `checkpoint` to `path`. Throws std::runtime_error on IO failure.
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 
 /// Reads a checkpoint written by save_checkpoint. Throws std::runtime_error
-/// on IO failure or format mismatch.
+/// on IO failure, format mismatch or a malformed/truncated file: every
+/// length field is bounds-checked against the bytes actually present,
+/// enums are range-checked, and the loaded netlist must pass structural
+/// validation with a physical state aligned to it.
 Checkpoint load_checkpoint(const std::string& path);
 
 }  // namespace fpgasim

@@ -110,7 +110,9 @@ RouteResult route_design(const Device& device, const Netlist& netlist, PhysState
       charge(existing, +1);  // fully locked: usage only
       continue;
     }
-    if (!partial && net.routing_locked) continue;
+    // A routing_locked net with no recorded route has nothing to preserve:
+    // a component output port net has no sinks inside its checkpoint, so it
+    // is only routable once stitching gives it inter-component sinks.
     if (net.sinks.empty()) continue;
 
     TileCoord driver_loc = kUnplaced;

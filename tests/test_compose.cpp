@@ -157,6 +157,44 @@ TEST(Composer, MacroItemsMirrorFootprints) {
   EXPECT_EQ(items[0].footprint, a.pblock);
 }
 
+TEST(Composer, FinishRunsStructuralDrcGate) {
+  // A checkpoint whose netlist records an inconsistent driver pin must be
+  // caught by the compose-stage DRC gate inside finish().
+  Checkpoint broken = make_fake_checkpoint("bad", 4);
+  for (NetId n = 0; n < broken.netlist.net_count(); ++n) {
+    if (broken.netlist.net(n).driver != kInvalidCell) {
+      broken.netlist.net(n).driver_pin = 99;
+      break;
+    }
+  }
+  Composer composer("top");
+  composer.add_instance(broken, "bad0");
+  EXPECT_THROW(std::move(composer).finish(), std::runtime_error);
+}
+
+TEST(Composer, FinishedDesignPassesStructuralDrc) {
+  const Checkpoint a = make_fake_checkpoint("a", 4);
+  const Checkpoint b = make_fake_checkpoint("b", 4);
+  Composer composer("top");
+  const int ia = composer.add_instance(a, "a0");
+  const int ib = composer.add_instance(b, "b0");
+  composer.connect(ia, ib);
+  composer.expose_input(ia);
+  composer.expose_output(ib);
+  const ComposedDesign design = std::move(composer).finish();
+
+  const DrcReport report = run_structural_drc(design.netlist);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+
+  const std::vector<DrcInstance> instances = design.drc_instances();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].name, "a0");
+  EXPECT_EQ(instances[0].cell_begin, design.instances[0].cell_offset);
+  EXPECT_EQ(instances[0].cell_end, design.instances[0].cell_end);
+  EXPECT_EQ(instances[1].net_begin, design.instances[1].net_offset);
+  EXPECT_EQ(instances[1].footprint, design.instances[1].footprint);
+}
+
 TEST(Composer, MissingPortThrows) {
   Checkpoint broken = make_fake_checkpoint("x", 4);
   broken.netlist.ports().clear();

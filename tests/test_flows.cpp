@@ -166,6 +166,52 @@ TEST(Flows, StitchIsSmallShareOfArchitectureOptimization) {
   EXPECT_GT(report.function_opt_seconds, 0.0);
 }
 
+TEST(Flows, PreImplLeNetFinishesDrcClean) {
+  // LeNet-5 through the full pre-implemented pipeline: every DRC gate
+  // (post-compose, post-placement, post-routing) must report zero errors.
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = make_lenet5();
+  const ModelImpl impl = choose_implementation(model, 16);
+  const auto groups = default_grouping(model);
+  CheckpointDb db;
+  prepare_component_db(device, model, impl, groups, db);
+
+  ComposedDesign composed;
+  const PreImplReport report = run_preimpl_cnn(device, model, impl, groups, db, composed);
+  EXPECT_TRUE(report.route.success);
+  EXPECT_TRUE(report.drc_compose.clean()) << report.drc_compose.to_string();
+  EXPECT_TRUE(report.drc_place.clean()) << report.drc_place.to_string();
+  EXPECT_TRUE(report.drc.clean()) << report.drc.to_string();
+  EXPECT_GT(report.drc.rules_run(), 0u);
+  EXPECT_GE(report.drc_seconds, 0.0);
+}
+
+TEST(Flows, MonolithicLeNetFinishesDrcClean) {
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = make_lenet5();
+  const ModelImpl impl = choose_implementation(model, 16);
+  const auto groups = default_grouping(model);
+
+  Netlist flat = build_flat_netlist(model, impl, groups);
+  PhysState phys;
+  const MonoReport mono = run_monolithic_flow(device, flat, phys);
+  EXPECT_TRUE(mono.route.success);
+  EXPECT_TRUE(mono.drc_place.clean()) << mono.drc_place.to_string();
+  EXPECT_TRUE(mono.drc.clean()) << mono.drc.to_string();
+  EXPECT_GT(mono.drc.rules_run(), 0u);
+}
+
+TEST(Flows, DrcGateCanBeDisabled) {
+  MiniFlow f;
+  ComposedDesign composed;
+  PreImplOptions opt;
+  opt.drc = false;
+  const PreImplReport report =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed, opt);
+  EXPECT_TRUE(report.route.success);
+  EXPECT_EQ(report.drc.rules_run(), 0u);  // gates skipped entirely
+}
+
 TEST(Flows, PhysOptCanBeDisabled) {
   MiniFlow f;
   Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);

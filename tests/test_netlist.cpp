@@ -122,7 +122,9 @@ TEST(Netlist, MergeOffsetsAndRemapsEverything) {
   // Net references inside copied cells are offset into valid range.
   for (CellId c = cell_off; c < first.cell_count(); ++c) {
     for (NetId in : first.cell(c).inputs) {
-      if (in != kInvalidNet) EXPECT_GE(in, net_off);
+      if (in != kInvalidNet) {
+        EXPECT_GE(in, net_off);
+      }
     }
   }
 }

@@ -146,7 +146,9 @@ TEST(PlaceModel, SkipsSingleClusterNets) {
   std::vector<PlaceNet> nets;
   build_place_model(nl, clustering, items, nets);
   EXPECT_EQ(items.size(), clustering.num_clusters);
-  if (clustering.num_clusters == 1) EXPECT_TRUE(nets.empty());
+  if (clustering.num_clusters == 1) {
+    EXPECT_TRUE(nets.empty());
+  }
   ResourceVec total;
   for (const auto& item : items) total += item.res;
   EXPECT_EQ(total, nl.stats().resources);

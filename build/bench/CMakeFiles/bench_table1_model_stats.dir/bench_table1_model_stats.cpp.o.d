@@ -154,11 +154,12 @@ bench/CMakeFiles/bench_table1_model_stats.dir/bench_table1_model_stats.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/timing/delay_model.h /root/repo/src/timing/sta.h \
- /root/repo/src/flow/monolithic.h /root/repo/src/flow/preimpl.h \
- /root/repo/src/flow/compose.h /root/repo/src/place/macro_placer.h \
- /root/repo/src/util/table.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime /usr/include/time.h \
+ /root/repo/src/flow/monolithic.h /root/repo/src/drc/drc.h \
+ /root/repo/src/flow/preimpl.h /root/repo/src/flow/compose.h \
+ /root/repo/src/place/macro_placer.h /root/repo/src/util/table.h \
+ /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
  /usr/include/x86_64-linux-gnu/bits/timex.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \

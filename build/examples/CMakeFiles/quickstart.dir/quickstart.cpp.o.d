@@ -155,7 +155,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/timing/delay_model.h /root/repo/src/timing/sta.h \
  /root/repo/src/flow/preimpl.h /root/repo/src/flow/compose.h \
- /root/repo/src/place/macro_placer.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/rng.h \
- /root/repo/src/util/table.h
+ /root/repo/src/drc/drc.h /root/repo/src/place/macro_placer.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/rng.h /root/repo/src/util/table.h

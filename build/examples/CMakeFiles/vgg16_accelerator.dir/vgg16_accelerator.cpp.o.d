@@ -156,6 +156,6 @@ examples/CMakeFiles/vgg16_accelerator.dir/vgg16_accelerator.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/timing/delay_model.h /root/repo/src/timing/sta.h \
- /root/repo/src/flow/monolithic.h /root/repo/src/flow/preimpl.h \
- /root/repo/src/flow/compose.h /root/repo/src/place/macro_placer.h \
- /root/repo/src/util/table.h
+ /root/repo/src/flow/monolithic.h /root/repo/src/drc/drc.h \
+ /root/repo/src/flow/preimpl.h /root/repo/src/flow/compose.h \
+ /root/repo/src/place/macro_placer.h /root/repo/src/util/table.h

@@ -12,6 +12,7 @@ subdirs("synth")
 subdirs("timing")
 subdirs("place")
 subdirs("route")
+subdirs("drc")
 subdirs("alloc")
 subdirs("cnn")
 subdirs("flow")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drc/drc.cpp" "src/drc/CMakeFiles/fpgasim_drc.dir/drc.cpp.o" "gcc" "src/drc/CMakeFiles/fpgasim_drc.dir/drc.cpp.o.d"
+  "/root/repo/src/drc/rules_checkpoint.cpp" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_checkpoint.cpp.o" "gcc" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_checkpoint.cpp.o.d"
+  "/root/repo/src/drc/rules_place.cpp" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_place.cpp.o" "gcc" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_place.cpp.o.d"
+  "/root/repo/src/drc/rules_route.cpp" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_route.cpp.o" "gcc" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_route.cpp.o.d"
+  "/root/repo/src/drc/rules_structural.cpp" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_structural.cpp.o" "gcc" "src/drc/CMakeFiles/fpgasim_drc.dir/rules_structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fpgasim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/fpgasim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgasim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

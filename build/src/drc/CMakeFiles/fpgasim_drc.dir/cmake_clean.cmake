@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_drc.dir/drc.cpp.o"
+  "CMakeFiles/fpgasim_drc.dir/drc.cpp.o.d"
+  "CMakeFiles/fpgasim_drc.dir/rules_checkpoint.cpp.o"
+  "CMakeFiles/fpgasim_drc.dir/rules_checkpoint.cpp.o.d"
+  "CMakeFiles/fpgasim_drc.dir/rules_place.cpp.o"
+  "CMakeFiles/fpgasim_drc.dir/rules_place.cpp.o.d"
+  "CMakeFiles/fpgasim_drc.dir/rules_route.cpp.o"
+  "CMakeFiles/fpgasim_drc.dir/rules_route.cpp.o.d"
+  "CMakeFiles/fpgasim_drc.dir/rules_structural.cpp.o"
+  "CMakeFiles/fpgasim_drc.dir/rules_structural.cpp.o.d"
+  "libfpgasim_drc.a"
+  "libfpgasim_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

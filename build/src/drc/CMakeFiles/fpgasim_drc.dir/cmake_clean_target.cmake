@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpgasim_drc.a"
+)

@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/place/CMakeFiles/fpgasim_place.dir/DependInfo.cmake"
   "/root/repo/build/src/route/CMakeFiles/fpgasim_route.dir/DependInfo.cmake"
   "/root/repo/build/src/timing/CMakeFiles/fpgasim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/fpgasim_drc.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/fpgasim_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/fabric/CMakeFiles/fpgasim_fabric.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/fpgasim_util.dir/DependInfo.cmake"

@@ -193,9 +193,10 @@ src/flow/CMakeFiles/fpgasim_flow.dir/build.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flow/compose.h \
- /root/repo/src/place/macro_placer.h /root/repo/src/synth/layers.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/drc/drc.h \
+ /root/repo/src/flow/compose.h /root/repo/src/place/macro_placer.h \
+ /root/repo/src/synth/layers.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \

@@ -190,4 +190,4 @@ src/flow/CMakeFiles/fpgasim_flow.dir/checkpoint_db.cpp.o: \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/fs_dir.h \
- /usr/include/c++/12/bits/fs_ops.h
+ /usr/include/c++/12/bits/fs_ops.h /root/repo/src/drc/drc.h

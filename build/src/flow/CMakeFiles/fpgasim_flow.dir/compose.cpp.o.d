@@ -122,13 +122,13 @@ src/flow/CMakeFiles/fpgasim_flow.dir/compose.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/fabric/pblock.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/drc/drc.h \
+ /root/repo/src/fabric/device.h /root/repo/src/fabric/resources.h \
+ /root/repo/src/fabric/pblock.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/fabric/device.h /root/repo/src/fabric/resources.h \
  /root/repo/src/netlist/checkpoint.h /root/repo/src/netlist/netlist.h \
  /usr/include/c++/12/limits /root/repo/src/netlist/phys.h \
  /root/repo/src/place/macro_placer.h /root/repo/src/synth/layers.h \

@@ -150,8 +150,9 @@ src/flow/CMakeFiles/fpgasim_flow.dir/preimpl.cpp.o: \
  /root/repo/src/netlist/checkpoint.h /root/repo/src/fabric/pblock.h \
  /root/repo/src/netlist/netlist.h /usr/include/c++/12/limits \
  /root/repo/src/netlist/phys.h /root/repo/src/flow/compose.h \
- /root/repo/src/place/macro_placer.h /root/repo/src/route/router.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/drc/drc.h /root/repo/src/place/macro_placer.h \
+ /root/repo/src/route/router.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/timing/delay_model.h /root/repo/src/timing/sta.h \

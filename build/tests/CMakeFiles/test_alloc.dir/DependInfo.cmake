@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/flow/CMakeFiles/fpgasim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/fpgasim_drc.dir/DependInfo.cmake"
   "/root/repo/build/src/place/CMakeFiles/fpgasim_place.dir/DependInfo.cmake"
   "/root/repo/build/src/route/CMakeFiles/fpgasim_route.dir/DependInfo.cmake"
   "/root/repo/build/src/timing/CMakeFiles/fpgasim_timing.dir/DependInfo.cmake"

@@ -304,8 +304,8 @@ tests/CMakeFiles/test_compose.dir/test_compose.cpp.o: \
  /root/repo/src/netlist/netlist.h /root/repo/src/netlist/phys.h \
  /root/repo/src/flow/ooc.h /root/repo/src/route/router.h \
  /root/repo/src/timing/delay_model.h /root/repo/src/timing/sta.h \
- /root/repo/src/flow/compose.h /root/repo/src/place/macro_placer.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/tests/stream_harness.h /root/repo/src/util/rng.h \
- /root/repo/src/synth/layers.h
+ /root/repo/src/flow/compose.h /root/repo/src/drc/drc.h \
+ /root/repo/src/place/macro_placer.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/tests/stream_harness.h \
+ /root/repo/src/util/rng.h /root/repo/src/synth/layers.h

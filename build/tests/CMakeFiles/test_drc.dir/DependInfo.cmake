@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_drc.cpp" "tests/CMakeFiles/test_drc.dir/test_drc.cpp.o" "gcc" "tests/CMakeFiles/test_drc.dir/test_drc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/fpgasim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/fpgasim_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/fpgasim_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/fpgasim_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/fpgasim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnn/CMakeFiles/fpgasim_cnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgasim_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpgasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/fpgasim_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgasim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/fpgasim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgasim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -19,6 +19,7 @@ struct NetworkRun {
   ModelImpl impl;
   std::vector<std::vector<int>> groups;
   CheckpointDb db;
+  DbBuildReport db_build;  // parallel pre-implementation wall/CPU times
   double function_opt_wall = 0.0;
 
   ComposedDesign composed;
@@ -28,17 +29,18 @@ struct NetworkRun {
   NetlistStats flat_stats;
 };
 
-/// Builds the database and runs both flows for a model.
+/// Builds the database (components pre-implemented in parallel on `pool`,
+/// the global pool when null) and runs both flows for a model.
 inline NetworkRun run_network(const Device& device, CnnModel model, long dsp_budget,
-                              int max_tile = 28) {
+                              int max_tile = 28, ThreadPool* pool = nullptr) {
   NetworkRun run;
   run.model = std::move(model);
   run.impl = choose_implementation(run.model, dsp_budget, max_tile);
   run.groups = default_grouping(run.model);
 
-  Stopwatch sw;
-  prepare_component_db(device, run.model, run.impl, run.groups, run.db);
-  run.function_opt_wall = sw.seconds();
+  prepare_component_db(device, run.model, run.impl, run.groups, run.db, {}, 1000, pool,
+                       &run.db_build);
+  run.function_opt_wall = run.db_build.wall_seconds;
 
   run.pre = run_preimpl_cnn(device, run.model, run.impl, run.groups, run.db, run.composed);
 

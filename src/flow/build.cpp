@@ -8,6 +8,7 @@
 #include "flow/compose.h"
 #include "synth/layers.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace fpgasim {
 namespace {
@@ -128,7 +129,8 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
                                  const ModelImpl& impl,
                                  const std::vector<std::vector<int>>& groups,
                                  CheckpointDb& db, const OocOptions& ooc,
-                                 std::uint64_t seed_base) {
+                                 std::uint64_t seed_base, ThreadPool* pool,
+                                 DbBuildReport* report) {
   // Deduplicate signatures first: replicated layers are implemented once.
   std::vector<std::string> missing_keys;
   std::vector<const std::vector<int>*> missing_groups;
@@ -143,19 +145,33 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
   }
 
   // Function optimization is embarrassingly parallel across components.
+  // Each seed derives from the dedup index i alone, never from execution
+  // order, so every pool width yields bit-identical checkpoints.
+  if (pool == nullptr) pool = &ThreadPool::global();
+  Stopwatch wall;
+  CpuStopwatch cpu;
   std::mutex db_mutex;
-  parallel_for(0, missing_keys.size(), [&](std::size_t i) {
-    Netlist netlist = build_group_netlist(model, impl, *missing_groups[i], seed_base);
-    OocOptions local = ooc;
-    local.seed = ooc.seed + i * 131;
-    OocResult result = implement_ooc(device, std::move(netlist), local);
-    // Gate every freshly implemented component on a full checkpoint DRC
-    // before it becomes reusable database content.
-    enforce_drc(run_checkpoint_drc(result.checkpoint, &device),
-                "prepare_component_db '" + missing_keys[i] + "'");
-    std::lock_guard<std::mutex> lock(db_mutex);
-    db.put(missing_keys[i], std::move(result.checkpoint));
-  });
+  parallel_for(
+      0, missing_keys.size(),
+      [&](std::size_t i) {
+        Netlist netlist = build_group_netlist(model, impl, *missing_groups[i], seed_base);
+        OocOptions local = ooc;
+        local.seed = ooc.seed + i * 131;
+        OocResult result = implement_ooc(device, std::move(netlist), local);
+        // Gate every freshly implemented component on a full checkpoint DRC
+        // before it becomes reusable database content.
+        enforce_drc(run_checkpoint_drc(result.checkpoint, &device),
+                    "prepare_component_db '" + missing_keys[i] + "'");
+        std::lock_guard<std::mutex> lock(db_mutex);
+        db.put(missing_keys[i], std::move(result.checkpoint));
+      },
+      pool);
+  if (report != nullptr) {
+    report->implemented = missing_keys.size();
+    report->wall_seconds = wall.seconds();
+    report->cpu_seconds = cpu.seconds();
+    report->threads = pool->size();
+  }
   return missing_keys.size();
 }
 

@@ -12,6 +12,7 @@
 #include "flow/checkpoint_db.h"
 #include "flow/ooc.h"
 #include "netlist/netlist.h"
+#include "util/thread_pool.h"
 
 namespace fpgasim {
 
@@ -27,14 +28,29 @@ Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
 std::string group_signature(const CnnModel& model, const ModelImpl& impl,
                             const std::vector<int>& group, std::uint64_t seed_base = 1000);
 
+/// Wall/CPU accounting of one prepare_component_db run. CPU-seconds sum
+/// over all workers; wall/cpu diverge exactly when the build parallelizes.
+struct DbBuildReport {
+  std::size_t implemented = 0;  // cache misses actually built
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::size_t threads = 1;  // pool width used
+};
+
 /// Ensures every group of `groups` has a checkpoint in `db`, implementing
-/// the missing ones OOC (in parallel across components). Returns the
-/// number of components actually implemented (cache misses).
+/// the missing ones OOC — in parallel across components on `pool` (the
+/// global pool when null; a width-1 pool builds serially). Each component's
+/// seed derives from its dedup index alone, so the resulting database is
+/// bit-identical for every pool width. Returns the number of components
+/// actually implemented (cache misses), also recorded in `report` with
+/// wall/CPU times when non-null.
 std::size_t prepare_component_db(const Device& device, const CnnModel& model,
                                  const ModelImpl& impl,
                                  const std::vector<std::vector<int>>& groups,
                                  CheckpointDb& db, const OocOptions& ooc = {},
-                                 std::uint64_t seed_base = 1000);
+                                 std::uint64_t seed_base = 1000,
+                                 ThreadPool* pool = nullptr,
+                                 DbBuildReport* report = nullptr);
 
 /// Synthesizes the whole model as one flat netlist (the baseline flow's
 /// input): all group netlists chained.

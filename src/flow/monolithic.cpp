@@ -19,6 +19,7 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
                                const MonoOptions& opt) {
   MonoReport report;
   Stopwatch total;
+  CpuStopwatch total_cpu;
 
   // DRC gate: verifies the design between stages and throws on errors.
   const auto drc_gate = [&](unsigned stages, DrcReport& into, const char* where) {
@@ -184,6 +185,7 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
 
   report.stats = netlist.stats();
   report.total_seconds = total.seconds();
+  report.total_cpu_seconds = total_cpu.seconds();
   LOG_DEBUG("monolithic '%s': %s, %.2fs total (place %.2f route %.2f physopt %.2f)",
             netlist.name().c_str(), report.timing.summary().c_str(), report.total_seconds,
             report.place_seconds, report.route_seconds, report.phys_opt_seconds);

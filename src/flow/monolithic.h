@@ -33,7 +33,8 @@ struct MonoReport {
   double route_seconds = 0.0;
   double phys_opt_seconds = 0.0;
   double sta_seconds = 0.0;
-  double total_seconds = 0.0;
+  double total_seconds = 0.0;      // wall time
+  double total_cpu_seconds = 0.0;  // process CPU time over the same span
 
   NetlistStats stats;        // post-phys-opt
   TimingResult timing;

@@ -15,6 +15,7 @@ PreImplReport run_preimpl_flow(const Device& device,
   if (chain.empty()) throw std::invalid_argument("run_preimpl_flow: empty chain");
   PreImplReport report;
   Stopwatch total;
+  CpuStopwatch total_cpu;
 
   // DRC gate: verifies the design between stages and throws on errors.
   const auto drc_gate = [&](unsigned stages, DrcReport& into, const char* where) {
@@ -89,6 +90,7 @@ PreImplReport run_preimpl_flow(const Device& device,
 
   report.stats = out.netlist.stats();
   report.total_seconds = total.seconds();
+  report.total_cpu_seconds = total_cpu.seconds();
   LOG_DEBUG("preimpl '%s': %s, %.2fs online (stitch %.0f%%, place %.2f, route %.2f)",
             out.netlist.name().c_str(), report.timing.summary().c_str(),
             report.total_seconds, report.stitch_fraction() * 100.0, report.place_seconds,

@@ -99,6 +99,14 @@ SaResult place_sa(const Device& device, const std::vector<PlaceItem>& items,
 
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (!items[i].fixed) continue;
+    // Coordinates outside the region would map to a negative or
+    // out-of-range bin index and corrupt usage/item_bin.
+    if (!opt.region.contains(items[i].fixed_x, items[i].fixed_y)) {
+      throw std::runtime_error(
+          "place_sa: fixed item #" + std::to_string(i) + " pinned at (" +
+          std::to_string(items[i].fixed_x) + ", " + std::to_string(items[i].fixed_y) +
+          ") outside placement region " + opt.region.to_string());
+    }
     const int bin = grid.bin_of_tile(opt, items[i].fixed_x, items[i].fixed_y);
     result.item_bin[i] = bin;
     usage[static_cast<std::size_t>(bin)] += items[i].res;
@@ -219,7 +227,14 @@ SaResult place_sa(const Device& device, const std::vector<PlaceItem>& items,
     }
     if (samples > 0) avg_dc = std::max(1e-6, sum / samples);
   }
-  double temperature = avg_dc / -std::log(opt.initial_accept);
+  // initial_accept outside (0, 1) — including NaN — would make the start
+  // temperature infinite/NaN and acceptance degenerate.
+  double initial_accept = opt.initial_accept;
+  if (!(initial_accept > 0.0 && initial_accept < 1.0)) {
+    LOG_WARN("place_sa: initial_accept %.3f outside (0, 1); clamping", opt.initial_accept);
+    initial_accept = initial_accept >= 1.0 ? 0.999 : 1e-3;
+  }
+  double temperature = avg_dc / -std::log(initial_accept);
   double window = std::max(grid.bins_x, grid.bins_y);
 
   for (int stage = 0; stage < stages; ++stage) {

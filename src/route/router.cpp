@@ -343,11 +343,52 @@ RouteResult route_design(const Device& device, const Netlist& netlist, PhysState
     if (over_edges == 0) break;
   }
 
-  // Commit: final delays already reflect the final usage snapshot closely
-  // enough; recompute per-sink delays once more with settled usage.
+  // Commit: recompute per-sink delays with the settled usage. During
+  // negotiation each net computed its delays while its own usage was ripped
+  // up and later nets were still mid-iteration, so the recorded values
+  // reflect a stale congestion snapshot. Re-walk every final route tree
+  // from the driver against the final use_h/use_v before committing.
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     RouteInfo& route = job_routes[j];
-    phys.routes[jobs[j].net] = route;
+    const Job& job = jobs[j];
+    std::unordered_map<int, double> settled;
+    settled.emplace(job.driver_node, 0.0);
+    if (!route.edges.empty()) {
+      std::unordered_map<int, std::vector<int>> adjacency;
+      for (const auto& [a, b] : route.edges) {
+        const int na = graph.node(a.x, a.y), nb = graph.node(b.x, b.y);
+        adjacency[na].push_back(nb);
+        adjacency[nb].push_back(na);
+      }
+      std::vector<int> frontier{job.driver_node};
+      while (!frontier.empty()) {
+        const int v = frontier.back();
+        frontier.pop_back();
+        const double dv = settled[v];
+        for (int u : adjacency[v]) {
+          if (settled.count(u)) continue;
+          const int vx = v % w, vy = v / w, ux = u % w, uy = u / w;
+          const bool horizontal = (vy == uy);
+          const std::size_t eidx = horizontal ? graph.h_idx(std::min(vx, ux), vy)
+                                              : graph.v_idx(vx, std::min(vy, uy));
+          settled.emplace(u, dv + graph.edge_delay(horizontal, eidx));
+          frontier.push_back(u);
+        }
+      }
+    }
+    const Net& net = netlist.net(job.net);
+    const double fanout_term =
+        dm.wire_per_fanout *
+        (net.sinks.size() > 1 ? static_cast<double>(net.sinks.size() - 1) : 0.0);
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      if (s < job.old_delays.size()) continue;  // locked internal sink: keep
+      const int node = job.sink_node_of_sink[s];
+      if (node < 0) continue;  // unplaced sink: keep the fallback estimate
+      const auto it = settled.find(node);
+      if (it == settled.end()) continue;
+      route.sink_delays_ns[s] = dm.wire_base + it->second + fanout_term;
+    }
+    phys.routes[job.net] = route;
     result.edges_used += route.edges.size();
     result.total_wirelength += static_cast<double>(route.edges.size());
     ++result.nets_routed;

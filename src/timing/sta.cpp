@@ -91,8 +91,7 @@ TimingResult run_sta(const Netlist& netlist, const PhysState& phys, const Device
   }
   for (CellId c : order) {
     const Cell& cell = netlist.cell(c);
-    if (cell.outputs.empty() || cell.outputs[0] == kInvalidNet) continue;
-    const NetId out = cell.outputs[0];
+    if (cell.outputs.empty()) continue;
     double best = 0.0;
     NetId best_in = kInvalidNet;
     for (NetId in : cell.inputs) {
@@ -112,8 +111,14 @@ TimingResult run_sta(const Netlist& netlist, const PhysState& phys, const Device
         best_in = in;
       }
     }
-    arrival[out] = best + dm.comb_delay(cell);
-    pred_net[out] = best_in;
+    // Every output net launches at the cell's arrival time, not just the
+    // first: a multi-output cell would otherwise leave arrival 0 on its
+    // remaining nets and silently shorten all paths through them.
+    for (const NetId out : cell.outputs) {
+      if (out == kInvalidNet) continue;
+      arrival[out] = best + dm.comb_delay(cell);
+      pred_net[out] = best_in;
+    }
   }
 
   // Endpoints: sequential-cell inputs (+ output ports).

@@ -1,48 +1,84 @@
-// Fixed-size thread pool with a blocking task queue, plus a parallel_for
-// helper. Used to pre-implement independent CNN components concurrently
-// (the paper's function-optimization stage is embarrassingly parallel).
+// Work-stealing thread pool plus a parallel_for helper. Used to
+// pre-implement independent CNN components concurrently (the paper's
+// function-optimization stage is embarrassingly parallel).
+//
+// Determinism contract: the pool only schedules; any result computed
+// through parallel_for must depend on the iteration index alone (seeds
+// derived from the index, outputs keyed by the index), never on execution
+// order. Under that contract every pool width produces bit-identical
+// results, and width 1 executes the iterations inline, in order, on the
+// calling thread — exactly the serial loop.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace fpgasim {
 
+struct ThreadPoolOptions {
+  /// Worker count. 0 selects the FPGASIM_THREADS environment variable when
+  /// it is set to a positive integer, else hardware_concurrency (min 1).
+  std::size_t threads = 0;
+};
+
 class ThreadPool {
  public:
-  /// threads == 0 selects hardware_concurrency (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  explicit ThreadPool(ThreadPoolOptions opt = {});
+  explicit ThreadPool(std::size_t threads) : ThreadPool(ThreadPoolOptions{threads}) {}
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; the returned future reports completion/exceptions.
+  /// From a worker thread the task lands on that worker's own deque (depth
+  /// first); idle workers steal from the opposite end of other deques.
   std::future<void> submit(std::function<void()> task);
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Process-wide shared pool.
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Resolved automatic width: FPGASIM_THREADS when set, else
+  /// hardware_concurrency (min 1).
+  static std::size_t default_width();
+
+  /// Process-wide shared pool (width: default_width()).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
 
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::packaged_task<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // one deque per worker
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<std::size_t> pending_{0};  // queued, not yet popped
+  std::atomic<std::size_t> next_{0};     // round-robin for external submits
+  std::atomic<bool> stop_{false};
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool; blocks until done.
-/// Exceptions from iterations are rethrown (first one wins).
+/// Iterations are claimed from a shared counter (work stealing at the
+/// iteration level), so per-iteration cost imbalance does not serialize.
+/// Exceptions from iterations are rethrown (first one wins). On a width-1
+/// pool — or when called from inside a pool worker — the loop runs inline,
+/// serially and in index order, on the calling thread.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr);

@@ -1,7 +1,10 @@
-// Wall-clock stopwatch used for productivity (compile-time) measurements.
+// Wall-clock stopwatch used for productivity (compile-time) measurements,
+// plus a process-CPU stopwatch so parallel stages can report both
+// wall-seconds and CPU-seconds (their ratio is the effective parallelism).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace fpgasim {
 
@@ -21,6 +24,30 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU-time stopwatch: seconds of processor time consumed by the whole
+/// process (summed over all threads) since construction / last restart.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(now()) {}
+
+  void restart() { start_ = now(); }
+
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace fpgasim

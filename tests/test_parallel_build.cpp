@@ -1,0 +1,122 @@
+// Determinism contract of the parallel component-database build
+// (prepare_component_db): every thread-pool width must produce the same
+// checkpoints, byte for byte once the recorded wall-times — measurements,
+// not results — are normalized out. Seeds derive from the dedup index
+// alone, so scheduling order cannot leak into the output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "flow/build.h"
+
+namespace fpgasim {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// All .fdcp files of a directory: file name -> contents.
+std::map<std::string, std::string> dir_bytes(const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fdcp") continue;
+    files[entry.path().filename().string()] = slurp(entry.path());
+  }
+  return files;
+}
+
+struct ParallelBuildFixture {
+  Device device = make_xcku5p_sim();
+  CnnModel model;
+  ModelImpl impl;
+  std::vector<std::vector<int>> groups;
+
+  ParallelBuildFixture() {
+    // Four distinct components (both convs differ in input channels; the
+    // pools differ in fused relu), so width > 1 actually overlaps work.
+    // Spatial sizes: 14 -> 12 (c1) -> 6 (p1) -> 4 (c2) -> 2 (p2).
+    model = parse_arch_def(R"(network par
+input 2 14 14
+conv c1 out=4 k=3
+pool p1 k=2 relu
+conv c2 out=4 k=3
+pool p2 k=2
+)");
+    impl = choose_implementation(model, 12);
+    groups = default_grouping(model);
+  }
+
+  /// Builds the database on `width` workers and persists it with
+  /// implement_seconds zeroed (wall time is the one legitimately
+  /// nondeterministic field of a checkpoint).
+  std::map<std::string, std::string> build(std::size_t width, DbBuildReport* report) {
+    ThreadPool pool(width);
+    CheckpointDb db;
+    prepare_component_db(device, model, impl, groups, db, {}, 1000, &pool, report);
+    CheckpointDb normalized;
+    for (const std::string& key : db.keys()) {
+      Checkpoint copy = *db.get(key);
+      copy.meta.implement_seconds = 0.0;
+      normalized.put(key, std::move(copy));
+    }
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("fpgasim_par_db_w" + std::to_string(width));
+    std::filesystem::remove_all(dir);
+    normalized.save_dir(dir.string());
+    auto bytes = dir_bytes(dir);
+    std::filesystem::remove_all(dir);
+    return bytes;
+  }
+};
+
+TEST(ParallelBuild, DatabaseIsByteIdenticalAcrossThreadCounts) {
+  ParallelBuildFixture fixture;
+  DbBuildReport serial_report;
+  const auto serial = fixture.build(1, &serial_report);
+  EXPECT_EQ(serial_report.implemented, 4u);
+  EXPECT_EQ(serial_report.threads, 1u);
+  EXPECT_GT(serial_report.wall_seconds, 0.0);
+  EXPECT_GT(serial_report.cpu_seconds, 0.0);
+  ASSERT_EQ(serial.size(), 4u);
+
+  for (const std::size_t width : {std::size_t{2}, std::size_t{8}}) {
+    DbBuildReport report;
+    const auto parallel = fixture.build(width, &report);
+    EXPECT_EQ(report.threads, width);
+    EXPECT_EQ(report.implemented, 4u);
+    ASSERT_EQ(parallel.size(), serial.size()) << "width " << width;
+    for (const auto& [name, bytes] : serial) {
+      const auto it = parallel.find(name);
+      ASSERT_NE(it, parallel.end()) << "missing " << name << " at width " << width;
+      EXPECT_EQ(it->second, bytes)
+          << "checkpoint " << name << " differs at width " << width;
+    }
+  }
+}
+
+TEST(ParallelBuild, CacheHitsSkipReimplementation) {
+  ParallelBuildFixture fixture;
+  ThreadPool pool(2);
+  CheckpointDb db;
+  EXPECT_EQ(prepare_component_db(fixture.device, fixture.model, fixture.impl,
+                                 fixture.groups, db, {}, 1000, &pool),
+            4u);
+  // Second run: everything is already in the database.
+  DbBuildReport report;
+  EXPECT_EQ(prepare_component_db(fixture.device, fixture.model, fixture.impl,
+                                 fixture.groups, db, {}, 1000, &pool, &report),
+            0u);
+  EXPECT_EQ(report.implemented, 0u);
+  EXPECT_EQ(db.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fpgasim

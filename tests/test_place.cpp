@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "place/place.h"
@@ -59,6 +60,43 @@ TEST(PlaceSa, FixedItemsStayPut) {
   // The movable items gravitate toward the fixed terminal.
   const TileCoord c0 = result.bin_center(opt, result.item_bin[0]);
   EXPECT_LE(std::abs(c0.x - c.x) + std::abs(c0.y - c.y), 12);
+}
+
+TEST(PlaceSa, ThrowsOnFixedItemOutsideRegion) {
+  const Device device = make_tiny_device();
+  std::vector<PlaceItem> items(2);
+  items[0].res = ResourceVec{.lut = 1};
+  items[1].fixed = true;
+  items[1].fixed_x = 1;  // left of and below the region: used to produce a
+  items[1].fixed_y = 2;  // negative bin index and out-of-bounds writes
+  SaOptions opt;
+  opt.region = Pblock{4, 4, 20, 28};
+  opt.bin_tiles = 4;
+  EXPECT_THROW(place_sa(device, items, {}, opt), std::runtime_error);
+
+  items[1].fixed_x = 22;  // right of / above the region is just as illegal
+  items[1].fixed_y = 30;
+  EXPECT_THROW(place_sa(device, items, {}, opt), std::runtime_error);
+}
+
+TEST(PlaceSa, ClampsDegenerateInitialAccept) {
+  const Device device = make_tiny_device();
+  std::vector<PlaceItem> items(12);
+  for (auto& item : items) item.res = ResourceVec{.lut = 2, .ff = 2};
+  std::vector<PlaceNet> nets;
+  for (int i = 0; i + 1 < 12; ++i) nets.push_back(PlaceNet{{i, i + 1}, 1.0});
+  SaOptions opt;
+  opt.region = Pblock{0, 0, device.width() - 1, device.height() - 1};
+  opt.bin_tiles = 4;
+  opt.initial_accept = 1.0;  // -log(1) == 0: infinite start temperature
+  const SaResult degenerate = place_sa(device, items, nets, opt);
+  EXPECT_TRUE(std::isfinite(degenerate.final_cost));
+  EXPECT_TRUE(std::isfinite(degenerate.final_hpwl));
+  // Clamping must make 1.0 behave exactly like the clamp target, instead
+  // of the accept-everything random walk an infinite temperature causes.
+  SaOptions clamped = opt;
+  clamped.initial_accept = 0.999;
+  EXPECT_EQ(degenerate.item_bin, place_sa(device, items, nets, clamped).item_bin);
 }
 
 TEST(PlaceSa, ThrowsWhenDemandExceedsRegion) {

@@ -152,6 +152,46 @@ TEST(Sta, UnplacedDesignStillAnalyzesLogicDepth) {
   EXPECT_GT(result.fmax_mhz, 0.0);
 }
 
+TEST(Sta, MultiOutputCellPropagatesArrivalToEveryOutput) {
+  const Device device = make_tiny_device();
+  const DelayModel dm;
+  // FF -> LUT with TWO output nets; the endpoint hangs off the SECOND one.
+  // Arrival used to be propagated through outputs[0] only, leaving the
+  // second net at arrival 0 and silently shortening every path through it.
+  Netlist nl("dual");
+  Cell src;
+  src.type = CellType::kFf;
+  src.width = 1;
+  const CellId launch = nl.add_cell(std::move(src));
+  const NetId a = nl.add_net(1);
+  nl.connect_output(launch, 0, a);
+
+  Cell dual;
+  dual.type = CellType::kLut;
+  dual.width = 1;
+  const CellId lut = nl.add_cell(std::move(dual));
+  nl.connect_input(lut, 0, a);
+  const NetId o0 = nl.add_net(1);  // unloaded first output
+  const NetId o1 = nl.add_net(1);  // the output that carries the path
+  nl.connect_output(lut, 0, o0);
+  nl.connect_output(lut, 1, o1);
+
+  Cell capture;
+  capture.type = CellType::kFf;
+  capture.width = 1;
+  const CellId endpoint = nl.add_cell(std::move(capture));
+  nl.connect_input(endpoint, 0, o1);
+
+  PhysState phys;
+  phys.resize_for(nl);
+  for (CellId c = 0; c < nl.cell_count(); ++c) phys.cell_loc[c] = TileCoord{3, 3};
+
+  const TimingResult result = run_sta(nl, phys, device, dm);
+  const double expected =
+      dm.ff_clk_to_q + dm.wire_base + dm.lut + dm.wire_base + dm.ff_setup;
+  EXPECT_NEAR(result.critical_path_ns, expected, 1e-9);
+}
+
 TEST(Sta, SummaryMentionsFmax) {
   TimingResult result;
   result.critical_path_ns = 2.0;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "util/rng.h"
 #include "util/table.h"
@@ -107,6 +110,45 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, EnvVariableControlsAutomaticWidth) {
+  setenv("FPGASIM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_width(), 3u);
+  ThreadPool pool{ThreadPoolOptions{}};
+  EXPECT_EQ(pool.size(), 3u);
+  setenv("FPGASIM_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_width(), 1u);  // unparsable: fall back
+  unsetenv("FPGASIM_THREADS");
+}
+
+TEST(ThreadPool, ExplicitWidthBeatsEnvironment) {
+  setenv("FPGASIM_THREADS", "7", 1);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  unsetenv("FPGASIM_THREADS");
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBusyWorkerQueue) {
+  // External submits round-robin across the two deques, so some quick
+  // tasks land behind the blocker. They can only run if the other worker
+  // steals them — and the blocker is only released once they all ran.
+  ThreadPool pool(2);
+  std::promise<void> unblock;
+  std::shared_future<void> gate = unblock.get_future().share();
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([gate] { gate.wait(); }));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 16) << "quick tasks stuck behind the blocked worker";
+  unblock.set_value();
+  for (auto& f : futures) f.get();
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(500);
   parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
@@ -115,6 +157,32 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(5, 5, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, WidthOnePoolRunsInOrderOnCallingThread) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  parallel_for(
+      3, 9,
+      [&](std::size_t i) {
+        order.push_back(i);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+      },
+      &pool);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ParallelFor, NestedCallFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(
+      0, 4,
+      [&](std::size_t) {
+        parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(total.load(), 32);
 }
 
 TEST(ParallelFor, RethrowsWorkerException) {

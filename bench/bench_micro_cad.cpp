@@ -4,11 +4,14 @@
 // productivity figures.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "flow/ooc.h"
 #include "place/place.h"
 #include "route/router.h"
 #include "synth/layers.h"
 #include "timing/sta.h"
+#include "util/json.h"
 
 namespace fpgasim {
 namespace {
@@ -84,6 +87,53 @@ void BM_RouteComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteComponent);
 
+/// Congested corridor netlist (over channel capacity): exercises the
+/// multi-iteration negotiation path of the router, where incremental
+/// rip-up and bounding-box batching actually matter.
+struct CongestedCorridor {
+  Netlist netlist{"corridor"};
+  PhysState phys;
+  RouteOptions opt;
+
+  CongestedCorridor() {
+    auto cell_at = [&](TileCoord loc) {
+      Cell c;
+      c.type = CellType::kFf;
+      const CellId id = netlist.add_cell(std::move(c));
+      phys.resize_for(netlist);
+      phys.cell_loc[id] = loc;
+      return id;
+    };
+    for (int i = 0; i < 36; ++i) {
+      const CellId d = cell_at(TileCoord{2, 8 + i % 8});
+      const CellId s = cell_at(TileCoord{20, 8 + i % 8});
+      const NetId n = netlist.add_net(1);
+      netlist.connect_output(d, 0, n);
+      netlist.connect_input(s, 0, n);
+    }
+    opt.channel_capacity = 3;
+    opt.max_iterations = 80;
+    opt.history_factor = 0.8;
+  }
+};
+
+void BM_RouteCongested(benchmark::State& state) {
+  const Device device = make_tiny_device();
+  CongestedCorridor fixture;
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  RouteOptions opt = fixture.opt;
+  opt.pool = &pool;
+  int iterations = 0;
+  for (auto _ : state) {
+    PhysState phys = fixture.phys;
+    RouteResult result = route_design(device, fixture.netlist, phys, opt);
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result.edges_used);
+  }
+  state.counters["negotiation_iters"] = iterations;
+}
+BENCHMARK(BM_RouteCongested)->Arg(1)->Arg(4);
+
 void BM_StaComponent(benchmark::State& state) {
   const Device device = make_xcku5p_sim();
   const Netlist nl = make_conv_component(bench_conv(), {}, {});
@@ -110,7 +160,52 @@ void BM_OocComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_OocComponent);
 
+/// Machine-readable routing numbers for the perf trajectory across PRs:
+/// the congested corridor at 1 and 4 threads, incremental vs full rip-up.
+void write_route_json() {
+  const Device device = make_tiny_device();
+  CongestedCorridor fixture;
+  JsonWriter json;
+  json.begin_object();
+  auto sample = [&](const char* name, int width, bool incremental) {
+    ThreadPool pool(static_cast<std::size_t>(width));
+    RouteOptions opt = fixture.opt;
+    opt.pool = &pool;
+    opt.incremental = incremental;
+    RouteResult best;
+    for (int r = 0; r < 3; ++r) {
+      PhysState phys = fixture.phys;
+      RouteResult result = route_design(device, fixture.netlist, phys, opt);
+      if (r == 0 || result.wall_seconds < best.wall_seconds) best = std::move(result);
+    }
+    json.key(name).begin_object();
+    json.key("wall_s").value(best.wall_seconds);
+    json.key("cpu_s").value(best.cpu_seconds);
+    json.key("iterations").value(best.iterations);
+    json.key("nets_routed").value(best.nets_routed);
+    json.key("max_overuse").value(best.max_overuse);
+    json.key("rerouted_per_iteration").begin_array();
+    for (const RouteIterationStats& s : best.iteration_stats) json.value(s.nets_rerouted);
+    json.end_array();
+    json.end_object();
+  };
+  sample("congested_serial", 1, true);
+  sample("congested_threads4", 4, true);
+  sample("congested_full_ripup", 1, false);
+  json.end_object();
+  if (update_json_file("BENCH_route.json", "micro_cad", json.str())) {
+    std::puts("wrote BENCH_route.json (micro_cad section)");
+  }
+}
+
 }  // namespace
 }  // namespace fpgasim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fpgasim::write_route_json();
+  return 0;
+}

@@ -68,6 +68,8 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
   route_opt.seed = opt.seed;
   report.route = route_design(device, netlist, phys, route_opt);
   report.route_seconds = stage.seconds();
+  LOG_DEBUG("monolithic route: %zu nets, %d iterations [%s]", report.route.nets_routed,
+            report.route.iterations, report.route.iteration_summary().c_str());
 
   stage.restart();
   report.timing = run_sta(netlist, phys, device);

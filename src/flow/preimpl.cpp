@@ -82,6 +82,8 @@ PreImplReport run_preimpl_flow(const Device& device,
     throw std::runtime_error("pre-implemented flow: routing failed: " + report.route.error);
   }
   report.route_seconds = stage.seconds();
+  LOG_DEBUG("preimpl route: %zu nets, %d iterations [%s]", report.route.nets_routed,
+            report.route.iterations, report.route.iteration_summary().c_str());
   drc_gate(kDrcStructural | kDrcPlacement | kDrcRouting, report.drc, "preimpl after routing");
 
   stage.restart();

@@ -1,5 +1,5 @@
-// Negotiated-congestion (PathFinder-style) router over a coarse per-tile
-// channel graph.
+// Parallel incremental negotiated-congestion (PathFinder-style) router
+// over a coarse per-tile channel graph.
 //
 // Nodes are interconnect tiles; edges connect 4-neighbours with a fixed
 // wire capacity per direction. Crossing an IO column costs extra delay
@@ -7,6 +7,14 @@
 // components) keep their recorded routes and only charge edge usage; the
 // inter-component routing step therefore only negotiates the unrouted
 // nets, which is exactly what makes the pre-implemented flow fast.
+//
+// Negotiation is *incremental*: after the first iteration only nets whose
+// route trees touch an overused edge (tracked through a per-edge -> net
+// reverse index) are ripped up and rerouted. Within an iteration, dirty
+// nets are batched by disjoint expanded bounding boxes and the nets of a
+// batch are routed concurrently on a ThreadPool; edge usage is committed
+// serially in net-index order after each batch, so the result is
+// byte-identical at every pool width (see DESIGN.md section 9).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include "netlist/netlist.h"
 #include "netlist/phys.h"
 #include "timing/delay_model.h"
+#include "util/thread_pool.h"
 
 namespace fpgasim {
 
@@ -35,6 +44,30 @@ struct RouteOptions {
   /// component routing inside its pblock so relocation stays legal).
   bool bounded = false;
   Pblock region;
+  /// Incremental rip-up: after iteration 1 only nets touching an overused
+  /// edge are rerouted. `false` restores the legacy full rip-up (every net,
+  /// every iteration) for A/B benchmarking.
+  bool incremental = true;
+  /// Initial expansion of the per-net A* bounding box beyond its terminals
+  /// (tiles), and the extra margin granted each time congestion rips the
+  /// net up again (the box grows until a detour fits).
+  int bbox_margin = 3;
+  int bbox_growth = 8;
+  /// Pool for routing the nets of a batch concurrently; null uses the
+  /// process-global pool (FPGASIM_THREADS). Any width, including 1,
+  /// produces byte-identical results.
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-negotiation-round telemetry: the incremental router's work should
+/// collapse after iteration 1 (rerouted tracks overuse, not net count).
+struct RouteIterationStats {
+  int nets_rerouted = 0;   // nets ripped up and rerouted this round
+  long overused_edges = 0; // edges above capacity after the round
+  int max_overuse = 0;
+  int batches = 0;         // disjoint-bbox parallel batches this round
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
 };
 
 struct RouteResult {
@@ -44,7 +77,14 @@ struct RouteResult {
   std::size_t edges_used = 0;
   int max_overuse = 0;
   double total_wirelength = 0.0;
+  double wall_seconds = 0.0;  // whole route_design call
+  double cpu_seconds = 0.0;
+  std::vector<RouteIterationStats> iteration_stats;
   std::string error;
+
+  /// One-line per-iteration digest for flow logs:
+  /// "i1: 42 rerouted/7 over ..." (empty when nothing was routed).
+  std::string iteration_summary() const;
 };
 
 /// Routes every unrouted multi-terminal net in `netlist` whose endpoints

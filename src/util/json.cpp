@@ -1,0 +1,232 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace fpgasim {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its separator
+  }
+  if (!first_.empty()) {
+    if (first_.back() != 0) {
+      first_.back() = 0;
+    } else {
+      out_ += ", ";
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<long>(v)); }
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  pre_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& r) {
+  pre_value();
+  out_ += r;
+  return *this;
+}
+
+namespace {
+
+/// Splits the top level of a JSON object into (key, raw value) pairs.
+/// Values are kept as verbatim text; strings and nesting are respected.
+/// Returns false on anything that does not look like a JSON object.
+bool split_top_level(const std::string& text,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size()) return false;
+    if (text[i] == '}') return true;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '"') return false;
+    // Key string (escapes respected).
+    std::string key;
+    ++i;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) key += text[i++];
+      key += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    // Value: scan with depth counting, string-aware.
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // closing brace of the top-level object
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    std::string value = text.substr(start, i - start);
+    while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back())) != 0) {
+      value.pop_back();
+    }
+    out->emplace_back(std::move(key), std::move(value));
+  }
+}
+
+}  // namespace
+
+bool update_json_file(const std::string& path, const std::string& key,
+                      const std::string& raw_value) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<std::pair<std::string, std::string>> parsed;
+      if (split_top_level(buffer.str(), &parsed)) entries = std::move(parsed);
+    }
+  }
+  bool replaced = false;
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = raw_value;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries.emplace_back(key, raw_value);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    out << "  \"" << entries[e].first << "\": " << entries[e].second;
+    if (e + 1 < entries.size()) out << ',';
+    out << '\n';
+  }
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace fpgasim

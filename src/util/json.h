@@ -1,0 +1,53 @@
+// Minimal JSON output support for machine-readable benchmark results
+// (BENCH_*.json). Two pieces:
+//   - JsonWriter: an emitter with automatic comma placement, enough for
+//     nested objects/arrays of numbers and strings;
+//   - update_json_file(): read-modify-write of one top-level key in a JSON
+//     object file, so several bench binaries can merge their sections into
+//     a single BENCH_route.json without a JSON dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpgasim {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool b);
+  /// Pre-rendered JSON inserted verbatim (caller guarantees validity).
+  JsonWriter& raw(const std::string& r);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+  std::string out_;
+  std::vector<char> first_;  // per open container: no element emitted yet?
+  bool pending_key_ = false;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Replaces (or adds) the top-level `key` of the JSON object stored at
+/// `path` with `raw_value` (pre-rendered JSON) and writes the file back.
+/// A missing or malformed file is treated as an empty object. Only
+/// one-level key extraction is performed; nested values are kept verbatim.
+/// Returns false when the file cannot be written.
+bool update_json_file(const std::string& path, const std::string& key,
+                      const std::string& raw_value);
+
+}  // namespace fpgasim

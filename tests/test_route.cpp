@@ -249,6 +249,106 @@ TEST(Router, CommittedDelaysReflectSettledUsage) {
   EXPECT_NEAR(design.phys.routes[1].sink_delays_ns[0], expected, 1e-6);
 }
 
+TEST(Router, WideFanoutKeepsAdmissibleHeuristic) {
+  // 12 sinks (> 8: the router switches from the per-node min-scan to the
+  // multi-source BFS nearest-target grid). On an uncongested fabric the
+  // heuristic must stay admissible, i.e. the tree still shares trunk
+  // wiring and beats independent point-to-point routes.
+  const Device device = make_tiny_device();
+  Netlist nl("wide");
+  PhysState phys;
+  Cell drv;
+  drv.type = CellType::kFf;
+  const CellId d = nl.add_cell(std::move(drv));
+  const NetId n = nl.add_net(1);
+  nl.connect_output(d, 0, n);
+  std::vector<TileCoord> sinks;
+  for (int i = 0; i < 12; ++i) {
+    sinks.push_back(TileCoord{4 + (i % 4) * 5, 4 + (i / 4) * 10});
+  }
+  std::vector<CellId> sink_cells;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    Cell c;
+    c.type = CellType::kFf;
+    const CellId s = nl.add_cell(std::move(c));
+    nl.connect_input(s, 0, n);
+    sink_cells.push_back(s);
+  }
+  phys.resize_for(nl);
+  phys.cell_loc[d] = TileCoord{2, 16};
+  for (std::size_t i = 0; i < sinks.size(); ++i) phys.cell_loc[sink_cells[i]] = sinks[i];
+
+  const RouteResult result = route_design(device, nl, phys);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(phys.routes[n].sink_delays_ns.size(), 12u);
+  std::size_t independent = 0;
+  for (const TileCoord& s : sinks) {
+    expect_connected(phys.routes[n], phys.cell_loc[d], s);
+    independent += static_cast<std::size_t>(std::abs(s.x - 2) + std::abs(s.y - 16));
+  }
+  EXPECT_LT(phys.routes[n].edges.size(), independent);
+}
+
+TEST(Router, DuplicateSinkTilesRouteOnce) {
+  // Ten sinks on the same tile (stitched broadcast nets do this): the tile
+  // is routed to once and every sink gets the same positive delay.
+  const Device device = make_tiny_device();
+  Netlist nl("dup");
+  PhysState phys;
+  Cell drv;
+  drv.type = CellType::kFf;
+  const CellId d = nl.add_cell(std::move(drv));
+  const NetId n = nl.add_net(1);
+  nl.connect_output(d, 0, n);
+  std::vector<CellId> sink_cells;
+  for (int i = 0; i < 10; ++i) {
+    Cell c;
+    c.type = CellType::kFf;
+    const CellId s = nl.add_cell(std::move(c));
+    nl.connect_input(s, 0, n);
+    sink_cells.push_back(s);
+  }
+  phys.resize_for(nl);
+  phys.cell_loc[d] = TileCoord{3, 3};
+  for (CellId s : sink_cells) phys.cell_loc[s] = TileCoord{9, 3};
+
+  const RouteResult result = route_design(device, nl, phys);
+  ASSERT_TRUE(result.success);
+  // One Manhattan-optimal path, not ten.
+  EXPECT_EQ(phys.routes[n].edges.size(), 6u);
+  ASSERT_EQ(phys.routes[n].sink_delays_ns.size(), 10u);
+  for (double delay : phys.routes[n].sink_delays_ns) {
+    EXPECT_DOUBLE_EQ(delay, phys.routes[n].sink_delays_ns[0]);
+    EXPECT_GT(delay, 0.0);
+  }
+}
+
+TEST(Router, IterationStatsTrackNegotiation) {
+  const Device device = make_tiny_device();
+  PointToPoint design;
+  for (int i = 0; i < 24; ++i) {
+    design.add_pair(TileCoord{2, 10 + i % 4}, TileCoord{20, 10 + i % 4});
+  }
+  RouteOptions opt;
+  opt.channel_capacity = 3;
+  opt.max_iterations = 80;
+  opt.history_factor = 0.8;
+  const RouteResult result = route_design(device, design.netlist, design.phys, opt);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.iteration_stats.size(), static_cast<std::size_t>(result.iterations));
+  // Iteration 1 routes everything; incremental rip-up shrinks the worklist
+  // as nets escape the corridor (early rounds may still dirty all of them).
+  EXPECT_EQ(result.iteration_stats[0].nets_rerouted, 24);
+  int min_later = 24;
+  for (std::size_t i = 1; i < result.iteration_stats.size(); ++i) {
+    min_later = std::min(min_later, result.iteration_stats[i].nets_rerouted);
+  }
+  EXPECT_LT(min_later, 24);
+  // Converged: the last round found no overuse.
+  EXPECT_EQ(result.iteration_stats.back().overused_edges, 0);
+  EXPECT_FALSE(result.iteration_summary().empty());
+}
+
 TEST(Router, SkipsNetsWithUnplacedEndpoints) {
   const Device device = make_tiny_device();
   PointToPoint design;

@@ -107,6 +107,28 @@ TEST_P(RouterFuzz, AlwaysProducesConnectedTrees) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
                          ::testing::Values(1u, 7u, 42u, 1234u, 99999u, 31415u));
 
+TEST(RouterFuzz, WideFanoutNetsRouteCorrectly) {
+  // Fanouts beyond 8 take the BFS nearest-target heuristic grid instead of
+  // the per-node min-scan; the route contract must not change.
+  const Device device = make_tiny_device();
+  FuzzDesign design = make_random_design(device, 20, 16, 777);
+  const RouteResult result = route_design(device, design.netlist, design.phys);
+  ASSERT_TRUE(result.success);
+  for (NetId n = 0; n < design.netlist.net_count(); ++n) {
+    const Net& net = design.netlist.net(n);
+    if (net.sinks.empty()) continue;
+    const RouteInfo& route = design.phys.routes[n];
+    ASSERT_TRUE(route.routed) << "net " << n;
+    const TileCoord from = design.phys.cell_loc[net.driver];
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const TileCoord to = design.phys.cell_loc[net.sinks[s].first];
+      EXPECT_TRUE(connects(route, from, to)) << "net " << n << " sink " << s;
+      const int manhattan = std::abs(from.x - to.x) + std::abs(from.y - to.y);
+      EXPECT_GE(route.sink_delays_ns[s], 0.9 * 0.042 * manhattan);
+    }
+  }
+}
+
 TEST(RouterFuzz, HeavyLoadStillResolvesOnRealisticDevice) {
   const Device device = make_xcku5p_sim();
   FuzzDesign design = make_random_design(device, 400, 3, 2026);

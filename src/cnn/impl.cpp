@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace fpgasim {
 namespace {
@@ -68,6 +69,8 @@ ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_
 std::vector<std::vector<int>> default_grouping(const CnnModel& model) {
   std::vector<std::vector<int>> groups;
   const auto& layers = model.layers();
+  const std::vector<int> consumers = model.consumer_counts();
+  std::vector<int> group_of(layers.size(), -1);
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const Layer& layer = layers[i];
     switch (layer.kind) {
@@ -76,20 +79,103 @@ std::vector<std::vector<int>> default_grouping(const CnnModel& model) {
       case LayerKind::kConv:
       case LayerKind::kPool:
       case LayerKind::kFc:
+      case LayerKind::kAdd:
+      case LayerKind::kConcat:
+        group_of[i] = static_cast<int>(groups.size());
         groups.push_back({static_cast<int>(i)});
         break;
-      case LayerKind::kRelu:
-        // Fused into the previous component when one exists (no memory
-        // controller between them, Sec. IV-B1).
-        if (!groups.empty()) {
-          groups.back().push_back(static_cast<int>(i));
+      case LayerKind::kRelu: {
+        // Fused into its producer when that producer has no other consumer
+        // and is the tail of its group (no memory controller between them,
+        // Sec. IV-B1). A relu on a forked edge must stay its own component
+        // so the other branch sees the pre-activation stream.
+        const int pred = layer.input();
+        const int pred_group =
+            pred >= 0 ? group_of[static_cast<std::size_t>(pred)] : -1;
+        if (pred_group != -1 && consumers[static_cast<std::size_t>(pred)] == 1 &&
+            groups[static_cast<std::size_t>(pred_group)].back() == pred) {
+          group_of[i] = pred_group;
+          groups[static_cast<std::size_t>(pred_group)].push_back(static_cast<int>(i));
         } else {
+          group_of[i] = static_cast<int>(groups.size());
           groups.push_back({static_cast<int>(i)});
         }
         break;
+      }
     }
   }
   return groups;
+}
+
+GroupGraph build_group_graph(const CnnModel& model,
+                             const std::vector<std::vector<int>>& groups) {
+  const auto& layers = model.layers();
+  const std::vector<int> consumers = model.consumer_counts();
+  std::vector<int> group_of(layers.size(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].empty()) throw std::runtime_error("group graph: empty group");
+    for (int idx : groups[g]) {
+      group_of[static_cast<std::size_t>(idx)] = static_cast<int>(g);
+    }
+  }
+  GroupGraph graph;
+  graph.fanout.assign(groups.size(), 0);
+  graph.output_group = -1;
+  int input_consumer = -1;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<int>& group = groups[g];
+    // Non-head members must be fed exclusively by their in-group
+    // predecessor: a layer whose output also leaves the group would need a
+    // stream fork in the middle of a fused datapath.
+    for (std::size_t m = 1; m < group.size(); ++m) {
+      const Layer& layer = layers[static_cast<std::size_t>(group[m])];
+      if (layer.inputs.size() != 1 || layer.inputs[0] != group[m - 1] ||
+          consumers[static_cast<std::size_t>(group[m - 1])] != 1) {
+        throw std::runtime_error("group graph: group splits a branch mid-edge at layer '" +
+                                 layer.name + "'");
+      }
+    }
+    const Layer& head = layers[static_cast<std::size_t>(group.front())];
+    for (std::size_t port = 0; port < head.inputs.size(); ++port) {
+      const int pred = head.inputs[port];
+      const Layer& pred_layer = layers[static_cast<std::size_t>(pred)];
+      if (pred_layer.kind == LayerKind::kInput) {
+        if (port != 0) {
+          throw std::runtime_error("group graph: model input must feed port 0 of '" +
+                                   head.name + "'");
+        }
+        if (input_consumer != -1) {
+          throw std::runtime_error("group graph: model input feeds more than one group");
+        }
+        input_consumer = static_cast<int>(g);
+        continue;
+      }
+      const int pred_group = group_of[static_cast<std::size_t>(pred)];
+      if (pred_group == -1 ||
+          groups[static_cast<std::size_t>(pred_group)].back() != pred) {
+        throw std::runtime_error("group graph: layer '" + head.name +
+                                 "' consumes mid-group output of '" + pred_layer.name + "'");
+      }
+      graph.edges.push_back(GroupEdge{pred_group, static_cast<int>(g),
+                                      static_cast<int>(port)});
+      ++graph.fanout[static_cast<std::size_t>(pred_group)];
+    }
+    // A group tail with no consumers is the design output.
+    if (consumers[static_cast<std::size_t>(group.back())] == 0) {
+      if (graph.output_group != -1) {
+        throw std::runtime_error("group graph: more than one terminal group");
+      }
+      graph.output_group = static_cast<int>(g);
+    }
+  }
+  if (input_consumer == -1) {
+    throw std::runtime_error("group graph: no group consumes the model input");
+  }
+  if (graph.output_group == -1) {
+    throw std::runtime_error("group graph: no terminal group");
+  }
+  graph.input_group = input_consumer;
+  return graph;
 }
 
 LayerCycles layer_cycles(const Layer& layer, const LayerImpl& impl) {
@@ -120,6 +206,17 @@ LayerCycles layer_cycles(const Layer& layer, const LayerImpl& impl) {
     }
     case LayerKind::kRelu:
       cycles.compute = layer.in_shape.volume();  // streaming passthrough
+      break;
+    case LayerKind::kAdd:
+      // Buffers one operand, then streams the sum as the others arrive.
+      cycles.load = layer.in_shape.volume();
+      cycles.drain = layer.out_shape.volume();
+      break;
+    case LayerKind::kConcat:
+      // Pure store-and-forward: every input element is written once and
+      // read once, in channel order.
+      cycles.load = layer.out_shape.volume();
+      cycles.drain = layer.out_shape.volume();
       break;
   }
   return cycles;

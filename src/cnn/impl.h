@@ -37,10 +37,44 @@ ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_
                                 long rom_weight_limit = 70000);
 
 /// Component grouping ("granularity exploration"): each conv and FC layer
-/// becomes a component; a relu is fused into the preceding conv/pool
-/// (Sec. IV-B1: no memory controller needed between them); pools become
-/// components of their own.
+/// becomes a component; a relu is fused into the preceding conv/pool when
+/// that layer has a single consumer (Sec. IV-B1: no memory controller
+/// needed between them); pools and the add/concat joins become components
+/// of their own. Branching DFGs never split a branch across a group
+/// boundary mid-edge.
 std::vector<std::vector<int>> default_grouping(const CnnModel& model);
+
+// -- group-level data-flow graph --------------------------------------------
+
+/// A stream edge between two component groups: output of `from` feeds
+/// input port `to_port` of `to` (port order = the head layer's `inputs`
+/// order; single-input components only use port 0).
+struct GroupEdge {
+  int from = -1;
+  int to = -1;
+  int to_port = 0;
+  friend bool operator==(const GroupEdge&, const GroupEdge&) = default;
+};
+
+/// The component DAG induced by a grouping: groups are nodes, layer edges
+/// that cross a group boundary become stream edges. `fanout[g]` counts the
+/// outgoing edges of group g (>1 means a stream fork is required when
+/// stitching). `input_group` consumes the model's kInput layer;
+/// `output_group` is the unique terminal group.
+struct GroupGraph {
+  std::vector<GroupEdge> edges;  // sorted by (to, to_port)
+  std::vector<int> fanout;       // per group
+  int input_group = 0;
+  int output_group = -1;
+};
+
+/// Builds and validates the group DAG. Throws std::runtime_error when a
+/// grouping is not a legal topological partition: a non-head group member
+/// must be fed exclusively by its in-group predecessor (single consumer),
+/// the kInput layer must feed exactly one group head at port 0, and
+/// exactly one group must be terminal.
+GroupGraph build_group_graph(const CnnModel& model,
+                             const std::vector<std::vector<int>>& groups);
 
 /// Cycle counts of one layer under an implementation (logical, untiled
 /// feature-map dimensions; tiling multiplies the sweep count but the total

@@ -14,8 +14,14 @@ const char* to_string(LayerKind kind) {
     case LayerKind::kPool: return "pool";
     case LayerKind::kRelu: return "relu";
     case LayerKind::kFc: return "fc";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kConcat: return "concat";
   }
   return "?";
+}
+
+bool is_join(LayerKind kind) {
+  return kind == LayerKind::kAdd || kind == LayerKind::kConcat;
 }
 
 long Layer::weights() const {
@@ -42,27 +48,58 @@ long Layer::macs() const {
 }
 
 int CnnModel::add(Layer layer) {
-  if (layer.input == -1 && layer.kind != LayerKind::kInput && !layers_.empty()) {
-    layer.input = static_cast<int>(layers_.size()) - 1;
+  if (layer.inputs.empty() && layer.kind != LayerKind::kInput && !layers_.empty()) {
+    layer.inputs = {static_cast<int>(layers_.size()) - 1};
   }
   layers_.push_back(std::move(layer));
   return static_cast<int>(layers_.size()) - 1;
+}
+
+int CnnModel::find_layer(const std::string& name) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> CnnModel::consumer_counts() const {
+  std::vector<int> counts(layers_.size(), 0);
+  for (const Layer& layer : layers_) {
+    for (int in : layer.inputs) {
+      if (in >= 0 && static_cast<std::size_t>(in) < counts.size()) {
+        ++counts[static_cast<std::size_t>(in)];
+      }
+    }
+  }
+  return counts;
 }
 
 void CnnModel::infer_shapes() {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Layer& layer = layers_[i];
     if (layer.kind == LayerKind::kInput) {
+      if (!layer.inputs.empty()) {
+        throw std::runtime_error("input layer '" + layer.name + "' cannot have inputs");
+      }
       layer.in_shape = layer.out_shape;
       if (layer.out_shape.volume() <= 0) {
         throw std::runtime_error("input layer '" + layer.name + "' has no shape");
       }
       continue;
     }
-    if (layer.input < 0 || static_cast<std::size_t>(layer.input) >= i) {
+    for (int in : layer.inputs) {
+      if (in < 0 || static_cast<std::size_t>(in) >= i) {
+        throw std::runtime_error("layer '" + layer.name + "' has no valid input edge");
+      }
+    }
+    if (layer.inputs.empty()) {
       throw std::runtime_error("layer '" + layer.name + "' has no valid input edge");
     }
-    layer.in_shape = layers_[static_cast<std::size_t>(layer.input)].out_shape;
+    if (!is_join(layer.kind) && layer.inputs.size() != 1) {
+      throw std::runtime_error("layer '" + layer.name + "' (" + to_string(layer.kind) +
+                               ") takes exactly one input");
+    }
+    layer.in_shape = layers_[static_cast<std::size_t>(layer.inputs[0])].out_shape;
     switch (layer.kind) {
       case LayerKind::kConv: {
         const int oh = (layer.in_shape.h - layer.kernel) / layer.stride + 1;
@@ -88,6 +125,36 @@ void CnnModel::infer_shapes() {
       case LayerKind::kFc:
         layer.out_shape = Shape{layer.out_c, 1, 1};
         break;
+      case LayerKind::kAdd: {
+        if (layer.inputs.size() < 2) {
+          throw std::runtime_error("add '" + layer.name + "' needs at least two inputs");
+        }
+        for (int in : layer.inputs) {
+          if (!(layers_[static_cast<std::size_t>(in)].out_shape == layer.in_shape)) {
+            throw std::runtime_error("add '" + layer.name +
+                                     "' inputs disagree on shape (element-wise add "
+                                     "requires identical tensors)");
+          }
+        }
+        layer.out_shape = layer.in_shape;
+        break;
+      }
+      case LayerKind::kConcat: {
+        if (layer.inputs.size() < 2) {
+          throw std::runtime_error("concat '" + layer.name + "' needs at least two inputs");
+        }
+        int channels = 0;
+        for (int in : layer.inputs) {
+          const Shape& s = layers_[static_cast<std::size_t>(in)].out_shape;
+          if (s.h != layer.in_shape.h || s.w != layer.in_shape.w) {
+            throw std::runtime_error("concat '" + layer.name +
+                                     "' inputs disagree on spatial shape");
+          }
+          channels += s.c;
+        }
+        layer.out_shape = Shape{channels, layer.in_shape.h, layer.in_shape.w};
+        break;
+      }
       case LayerKind::kInput:
         break;
     }
@@ -156,7 +223,7 @@ CnnModel make_vgg16() {
   auto& layers = model.layers();
   for (std::size_t i = 0; i < layers.size(); ++i) {
     Layer& layer = layers[i];
-    if (i > 0) layer.in_shape = layers[static_cast<std::size_t>(layer.input)].out_shape;
+    if (i > 0) layer.in_shape = layers[static_cast<std::size_t>(layer.input())].out_shape;
     if (layer.kind == LayerKind::kConv) {
       layer.out_shape = Shape{layer.out_c, layer.in_shape.h, layer.in_shape.w};
     } else if (layer.kind == LayerKind::kPool) {
@@ -170,6 +237,29 @@ CnnModel make_vgg16() {
   return model;
 }
 
+CnnModel make_resblock_net() {
+  CnnModel model("resblock");
+  model.add(Layer{.kind = LayerKind::kInput, .name = "in", .out_shape = Shape{2, 8, 8}});
+  const int c1 =
+      model.add(Layer{.kind = LayerKind::kConv, .name = "c1", .kernel = 3, .out_c = 4});
+  // Residual branch: two 1x1 convolutions (valid padding keeps 6x6, so the
+  // element-wise add sees identical shapes on both arms).
+  const int c2a = model.add(Layer{
+      .kind = LayerKind::kConv, .name = "c2a", .kernel = 1, .out_c = 4, .inputs = {c1}});
+  const int c2b = model.add(Layer{
+      .kind = LayerKind::kConv, .name = "c2b", .kernel = 1, .out_c = 4, .inputs = {c2a}});
+  const int join = model.add(
+      Layer{.kind = LayerKind::kAdd, .name = "add1", .inputs = {c1, c2b}});
+  model.add(Layer{.kind = LayerKind::kPool,
+                  .name = "p1",
+                  .kernel = 2,
+                  .fuse_relu = true,
+                  .inputs = {join}});
+  model.add(Layer{.kind = LayerKind::kFc, .name = "f1", .out_c = 8});
+  model.infer_shapes();
+  return model;
+}
+
 CnnModel parse_arch_def(const std::string& text) {
   CnnModel model;
   std::istringstream stream(text);
@@ -177,6 +267,9 @@ CnnModel parse_arch_def(const std::string& text) {
   int line_no = 0;
   auto fail = [&](const std::string& msg) {
     throw std::runtime_error("arch def line " + std::to_string(line_no) + ": " + msg);
+  };
+  auto register_name = [&](const std::string& name) {
+    if (model.find_layer(name) != -1) fail("duplicate layer name '" + name + "'");
   };
   while (std::getline(stream, line)) {
     ++line_no;
@@ -199,6 +292,7 @@ CnnModel parse_arch_def(const std::string& text) {
       if (!(ls >> layer.out_shape.c >> layer.out_shape.h >> layer.out_shape.w)) {
         fail("input needs: c h w");
       }
+      register_name(layer.name);
       model.add(std::move(layer));
       continue;
     }
@@ -206,9 +300,12 @@ CnnModel parse_arch_def(const std::string& text) {
     else if (kind == "pool") layer.kind = LayerKind::kPool;
     else if (kind == "relu") layer.kind = LayerKind::kRelu;
     else if (kind == "fc") layer.kind = LayerKind::kFc;
+    else if (kind == "add") layer.kind = LayerKind::kAdd;
+    else if (kind == "concat") layer.kind = LayerKind::kConcat;
     else fail("unknown layer kind '" + kind + "'");
 
     if (!(ls >> layer.name)) fail(kind + " needs a name");
+    register_name(layer.name);
     std::string token;
     while (ls >> token) {
       if (token == "relu") {
@@ -219,6 +316,16 @@ CnnModel parse_arch_def(const std::string& text) {
         layer.kernel = std::stoi(token.substr(2));
       } else if (token.rfind("s=", 0) == 0) {
         layer.stride = std::stoi(token.substr(2));
+      } else if (token.rfind("from=", 0) == 0) {
+        std::istringstream names(token.substr(5));
+        std::string from;
+        while (std::getline(names, from, ',')) {
+          if (from.empty()) fail("from= has an empty layer name");
+          const int idx = model.find_layer(from);
+          if (idx == -1) fail("from= references unknown layer '" + from + "'");
+          layer.inputs.push_back(idx);
+        }
+        if (layer.inputs.empty()) fail("from= needs at least one layer name");
       } else {
         fail("unknown attribute '" + token + "'");
       }
@@ -228,6 +335,12 @@ CnnModel parse_arch_def(const std::string& text) {
     }
     if (layer.kind == LayerKind::kFc && layer.out_c <= 0) fail("fc needs out=");
     if (layer.kind == LayerKind::kPool && layer.kernel <= 0) fail("pool needs k=");
+    if (is_join(layer.kind) && layer.inputs.size() < 2) {
+      fail(kind + " needs from= with at least two layers");
+    }
+    if (!is_join(layer.kind) && layer.inputs.size() > 1) {
+      fail(kind + " takes a single from= layer");
+    }
     model.add(std::move(layer));
   }
   if (model.layers().empty() || model.layers().front().kind != LayerKind::kInput) {
@@ -240,7 +353,21 @@ CnnModel parse_arch_def(const std::string& text) {
 std::string to_arch_def(const CnnModel& model) {
   std::ostringstream os;
   os << "network " << (model.name().empty() ? "cnn" : model.name()) << "\n";
-  for (const Layer& layer : model.layers()) {
+  const auto& layers = model.layers();
+  // `from=` is emitted whenever the predecessors differ from the implicit
+  // "previous line" rule (joins always do: they have two or more).
+  auto from_clause = [&](std::size_t i) -> std::string {
+    const Layer& layer = layers[i];
+    if (layer.inputs.size() == 1 && layer.inputs[0] == static_cast<int>(i) - 1) return "";
+    std::string clause = " from=";
+    for (std::size_t k = 0; k < layer.inputs.size(); ++k) {
+      if (k > 0) clause += ",";
+      clause += layers[static_cast<std::size_t>(layer.inputs[k])].name;
+    }
+    return clause;
+  };
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Layer& layer = layers[i];
     switch (layer.kind) {
       case LayerKind::kInput:
         os << "input " << layer.out_shape.c << " " << layer.out_shape.h << " "
@@ -248,17 +375,23 @@ std::string to_arch_def(const CnnModel& model) {
         break;
       case LayerKind::kConv:
         os << "conv " << layer.name << " out=" << layer.out_c << " k=" << layer.kernel
-           << " s=" << layer.stride << (layer.fuse_relu ? " relu" : "") << "\n";
+           << " s=" << layer.stride << (layer.fuse_relu ? " relu" : "") << from_clause(i)
+           << "\n";
         break;
       case LayerKind::kPool:
         os << "pool " << layer.name << " k=" << layer.kernel
-           << (layer.fuse_relu ? " relu" : "") << "\n";
+           << (layer.fuse_relu ? " relu" : "") << from_clause(i) << "\n";
         break;
       case LayerKind::kRelu:
-        os << "relu " << layer.name << "\n";
+        os << "relu " << layer.name << from_clause(i) << "\n";
         break;
       case LayerKind::kFc:
-        os << "fc " << layer.name << " out=" << layer.out_c << "\n";
+        os << "fc " << layer.name << " out=" << layer.out_c << from_clause(i) << "\n";
+        break;
+      case LayerKind::kAdd:
+      case LayerKind::kConcat:
+        os << to_string(layer.kind) << " " << layer.name << from_clause(i)
+           << (layer.fuse_relu ? " relu" : "") << "\n";
         break;
     }
   }
@@ -276,41 +409,54 @@ std::vector<Fixed16> synth_params(std::size_t count, std::uint64_t seed) {
 
 std::vector<Fixed16> reference_inference(const CnnModel& model, const Tensor& input,
                                          std::uint64_t seed_base) {
-  Tensor activ = input;
-  for (std::size_t i = 0; i < model.layers().size(); ++i) {
-    const Layer& layer = model.layers()[i];
+  const auto& layers = model.layers();
+  std::vector<Tensor> outs(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Layer& layer = layers[i];
+    const Tensor* activ =
+        layer.inputs.empty() ? &input : &outs[static_cast<std::size_t>(layer.inputs[0])];
     switch (layer.kind) {
       case LayerKind::kInput:
+        outs[i] = input;
         break;
       case LayerKind::kConv: {
         const auto w = synth_params(
-            static_cast<std::size_t>(layer.out_c) * activ.channels * layer.kernel *
+            static_cast<std::size_t>(layer.out_c) * activ->channels * layer.kernel *
                 layer.kernel,
             seed_base + i * 2);
         const auto b = synth_params(static_cast<std::size_t>(layer.out_c), seed_base + i * 2 + 1);
-        activ = golden_conv2d(activ, w, b, layer.out_c, layer.kernel, layer.stride);
-        if (layer.fuse_relu) activ = golden_relu(activ);
+        outs[i] = golden_conv2d(*activ, w, b, layer.out_c, layer.kernel, layer.stride);
+        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
         break;
       }
       case LayerKind::kPool:
-        activ = golden_maxpool(activ, layer.kernel);
-        if (layer.fuse_relu) activ = golden_relu(activ);
+        outs[i] = golden_maxpool(*activ, layer.kernel);
+        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
         break;
       case LayerKind::kRelu:
-        activ = golden_relu(activ);
+        outs[i] = golden_relu(*activ);
         break;
       case LayerKind::kFc: {
-        const std::size_t inputs = activ.data.size();
+        const std::size_t inputs = activ->data.size();
         const auto w = synth_params(static_cast<std::size_t>(layer.out_c) * inputs,
                                     seed_base + i * 2);
         const auto b = synth_params(static_cast<std::size_t>(layer.out_c), seed_base + i * 2 + 1);
-        const auto out = golden_fc(activ.data, w, b, layer.out_c);
-        activ = Tensor{layer.out_c, 1, 1, out};
+        const auto out = golden_fc(activ->data, w, b, layer.out_c);
+        outs[i] = Tensor{layer.out_c, 1, 1, out};
+        break;
+      }
+      case LayerKind::kAdd:
+      case LayerKind::kConcat: {
+        std::vector<const Tensor*> ins;
+        ins.reserve(layer.inputs.size());
+        for (int in : layer.inputs) ins.push_back(&outs[static_cast<std::size_t>(in)]);
+        outs[i] = layer.kind == LayerKind::kAdd ? golden_add(ins) : golden_concat(ins);
+        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
         break;
       }
     }
   }
-  return activ.data;
+  return outs.back().data;
 }
 
 }  // namespace fpgasim

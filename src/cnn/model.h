@@ -11,9 +11,12 @@
 
 namespace fpgasim {
 
-enum class LayerKind { kInput, kConv, kPool, kRelu, kFc };
+enum class LayerKind { kInput, kConv, kPool, kRelu, kFc, kAdd, kConcat };
 
 const char* to_string(LayerKind kind);
+
+/// True for the multi-input element-wise join kinds (add/concat).
+bool is_join(LayerKind kind);
 
 struct Shape {
   int c = 0, h = 0, w = 0;
@@ -28,13 +31,19 @@ struct Layer {
   int stride = 1;
   int out_c = 0;         // conv filters / fc outputs
   bool fuse_relu = false;
-  int input = -1;        // DFG predecessor (layer index), -1 for kInput
+  std::vector<int> inputs;  // DFG predecessors (layer indices); empty for kInput
 
-  // Filled by CnnModel::infer_shapes().
+  // Filled by CnnModel::infer_shapes(). in_shape is the first
+  // predecessor's shape (joins validate the rest during inference).
   Shape in_shape, out_shape;
 
   long weights() const;  // parameters incl. bias
   long macs() const;     // multiply-accumulates per image
+
+  /// First predecessor, or -1 when there is none (kInput).
+  int input() const { return inputs.empty() ? -1 : inputs.front(); }
+
+  friend bool operator==(const Layer&, const Layer&) = default;
 };
 
 class CnnModel {
@@ -46,11 +55,20 @@ class CnnModel {
   std::vector<Layer>& layers() { return layers_; }
   const std::vector<Layer>& layers() const { return layers_; }
 
-  /// Appends a layer connected to the previous one (linear chains).
+  /// Appends a layer. When `layer.inputs` is empty and the layer is not an
+  /// input, it is connected to the previous layer (linear chains); set
+  /// `inputs` explicitly to build branching DFGs.
   int add(Layer layer);
 
+  /// Index of the layer called `name`, or -1.
+  int find_layer(const std::string& name) const;
+
+  /// Number of DFG consumers of each layer (fan-out).
+  std::vector<int> consumer_counts() const;
+
   /// Propagates shapes along the DFG. Throws std::runtime_error on
-  /// malformed graphs (bad kernel sizes, missing input...).
+  /// malformed graphs (bad kernel sizes, missing input, shape-mismatched
+  /// joins...).
   void infer_shapes();
 
   struct Stats {
@@ -61,6 +79,8 @@ class CnnModel {
     long total_macs() const { return conv_macs + fc_macs; }
   };
   Stats stats() const;
+
+  friend bool operator==(const CnnModel&, const CnnModel&) = default;
 
  private:
   std::string name_;
@@ -75,20 +95,33 @@ CnnModel make_lenet5();
 /// VGG-16: 13 conv (3x3/s1) + 5 maxpool + 3 FC, 224x224x3 input.
 CnnModel make_vgg16();
 
+/// ResNet-style residual block network: conv1 -> {identity skip,
+/// conv-conv bottleneck} -> add -> pool+relu -> fc. The residual branch
+/// uses 1x1 convolutions so both join inputs keep the same spatial shape
+/// (the datapaths are valid-padding). Exercises stream fork + element-wise
+/// add end to end.
+CnnModel make_resblock_net();
+
 // -- CNN architecture definition (Sec. IV-B1) -------------------------------
 
 /// Parses the textual architecture definition. Format (one item per line,
 /// '#' comments):
 ///   network <name>
 ///   input <c> <h> <w>
-///   conv <name> out=<n> k=<k> [s=<s>] [relu]
-///   pool <name> k=<k> [relu]
-///   relu <name>
-///   fc <name> out=<n>
-/// Throws std::runtime_error with a line number on syntax errors.
+///   conv <name> out=<n> k=<k> [s=<s>] [relu] [from=<name>]
+///   pool <name> k=<k> [relu] [from=<name>]
+///   relu <name> [from=<name>]
+///   fc <name> out=<n> [from=<name>]
+///   add <name> from=<a>,<b>[,...] [relu]
+///   concat <name> from=<a>,<b>[,...] [relu]
+/// Layers connect to the previous line unless `from=` names explicit
+/// predecessors (the input layer is named "in"). Throws std::runtime_error
+/// with a line number on syntax errors, unknown `from=` targets and
+/// duplicate layer names.
 CnnModel parse_arch_def(const std::string& text);
 
-/// Serializes a model back to the definition format (round-trips).
+/// Serializes a model back to the definition format (round-trips:
+/// parse_arch_def(to_arch_def(m)) == m for parser-produced models).
 std::string to_arch_def(const CnnModel& model);
 
 // -- reference inference ----------------------------------------------------
@@ -99,7 +132,8 @@ std::string to_arch_def(const CnnModel& model);
 std::vector<Fixed16> synth_params(std::size_t count, std::uint64_t seed);
 
 /// Runs the whole model on `input` with synth_params(layer seed = base+i)
-/// through the golden layer implementations. Returns the flattened output.
+/// through the golden layer implementations, walking the DFG (branches and
+/// joins included). Returns the flattened output of the last layer.
 std::vector<Fixed16> reference_inference(const CnnModel& model, const Tensor& input,
                                          std::uint64_t seed_base = 1000);
 

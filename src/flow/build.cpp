@@ -73,13 +73,74 @@ Netlist build_layer(const CnnModel& model, const ModelImpl& impl, int layer_idx,
     }
     case LayerKind::kRelu:
       return make_relu_component(layer.name);
+    case LayerKind::kAdd:
+      return make_add_component(layer.name, static_cast<int>(layer.in_shape.volume()),
+                                static_cast<int>(layer.inputs.size()),
+                                fuse_relu || layer.fuse_relu);
+    case LayerKind::kConcat: {
+      std::vector<int> volumes;
+      volumes.reserve(layer.inputs.size());
+      for (int in : layer.inputs) {
+        volumes.push_back(static_cast<int>(
+            model.layers()[static_cast<std::size_t>(in)].out_shape.volume()));
+      }
+      return make_concat_component(layer.name, volumes, fuse_relu || layer.fuse_relu);
+    }
     case LayerKind::kInput:
       break;
   }
   throw std::runtime_error("build_layer: layer '" + layer.name + "' is not synthesizable");
 }
 
+/// True when any layer output feeds more than one consumer: only then does
+/// the model need the group-DAG machinery (chains keep the historical,
+/// byte-identical path).
+bool model_branches(const CnnModel& model) {
+  for (int count : model.consumer_counts()) {
+    if (count > 1) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+ComponentDfg expand_group_graph(const GroupGraph& graph) {
+  ComponentDfg dfg;
+  const std::size_t group_count = graph.fanout.size();
+  dfg.nodes.resize(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    dfg.nodes[g].group_index = static_cast<int>(g);
+  }
+  for (std::size_t g = 0; g < group_count; ++g) {
+    // Outgoing edges of g in stored (to, to_port) order.
+    std::vector<GroupEdge> out;
+    for (const GroupEdge& e : graph.edges) {
+      if (e.from == static_cast<int>(g)) out.push_back(e);
+    }
+    if (out.size() <= 1) {
+      for (const GroupEdge& e : out) {
+        dfg.edges.push_back(StreamEdge{e.from, e.to, 0, e.to_port});
+      }
+      continue;
+    }
+    const int fork = static_cast<int>(dfg.nodes.size());
+    ComponentDfg::Node node;
+    node.branches = static_cast<int>(out.size());
+    dfg.nodes.push_back(node);
+    dfg.edges.push_back(StreamEdge{static_cast<int>(g), fork, 0, 0});
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      dfg.edges.push_back(
+          StreamEdge{fork, out[b].to, static_cast<int>(b), out[b].to_port});
+    }
+  }
+  dfg.input_node = graph.input_group;
+  dfg.output_node = graph.output_group;
+  return dfg;
+}
+
+std::string fork_signature(int branches) {
+  return "fork_x" + std::to_string(branches) + "_w" + std::to_string(kDataW);
+}
 
 Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
                             const std::vector<int>& group, std::uint64_t seed_base) {
@@ -111,6 +172,18 @@ std::string group_signature(const CnnModel& model, const ModelImpl& impl,
     const Layer& layer = model.layers()[static_cast<std::size_t>(group[pos])];
     const LayerImpl& li = impl.layers[static_cast<std::size_t>(group[pos])];
     if (pos > 0) os << "__";
+    if (is_join(layer.kind)) {
+      // Joins are weight-free; their identity is the kind plus every input
+      // shape (port order matters for concat) and the output channels.
+      os << to_string(layer.kind);
+      for (int in : layer.inputs) {
+        const Shape& s = model.layers()[static_cast<std::size_t>(in)].out_shape;
+        os << "_i" << s.c << "x" << s.h << "x" << s.w;
+      }
+      os << "_o" << layer.out_shape.c;
+      if (layer.fuse_relu || fused_relu_follows(model, group, pos)) os << "_r";
+      continue;
+    }
     os << to_string(layer.kind) << "_i" << layer.in_shape.c << "x" << layer.in_shape.h << "x"
        << layer.in_shape.w << "_o" << layer.out_c << "_k" << layer.kernel << "s"
        << layer.stride << "_p" << li.ic_par << "x" << li.oc_par;
@@ -134,6 +207,7 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
   // Deduplicate signatures first: replicated layers are implemented once.
   std::vector<std::string> missing_keys;
   std::vector<const std::vector<int>*> missing_groups;
+  std::vector<int> missing_fork_branches;  // aligned; 0 = group component
   for (const auto& group : groups) {
     std::string key = group_signature(model, impl, group, seed_base);
     if (db.contains(key)) continue;
@@ -142,6 +216,24 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
     if (queued) continue;
     missing_keys.push_back(std::move(key));
     missing_groups.push_back(&group);
+    missing_fork_branches.push_back(0);
+  }
+  // Branching models additionally need the stream forks of the group DAG;
+  // they are appended after the group keys so chain databases keep their
+  // historical build order (and bytes) exactly.
+  if (model_branches(model)) {
+    const GroupGraph graph = build_group_graph(model, groups);
+    for (int fanout : graph.fanout) {
+      if (fanout <= 1) continue;
+      std::string key = fork_signature(fanout);
+      if (db.contains(key)) continue;
+      bool queued = false;
+      for (const std::string& other : missing_keys) queued |= (other == key);
+      if (queued) continue;
+      missing_keys.push_back(std::move(key));
+      missing_groups.push_back(nullptr);
+      missing_fork_branches.push_back(fanout);
+    }
   }
 
   // Function optimization is embarrassingly parallel across components.
@@ -154,7 +246,10 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
   parallel_for(
       0, missing_keys.size(),
       [&](std::size_t i) {
-        Netlist netlist = build_group_netlist(model, impl, *missing_groups[i], seed_base);
+        Netlist netlist =
+            missing_fork_branches[i] > 0
+                ? make_stream_fork(missing_keys[i], missing_fork_branches[i])
+                : build_group_netlist(model, impl, *missing_groups[i], seed_base);
         OocOptions local = ooc;
         local.seed = ooc.seed + i * 131;
         OocResult result = implement_ooc(device, std::move(netlist), local);
@@ -178,16 +273,35 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
 Netlist build_flat_netlist(const CnnModel& model, const ModelImpl& impl,
                            const std::vector<std::vector<int>>& groups,
                            std::uint64_t seed_base) {
+  if (!model_branches(model)) {
+    // Historical chain path, byte-identical with earlier releases.
+    std::vector<Netlist> components;
+    components.reserve(groups.size());
+    for (const auto& group : groups) {
+      components.push_back(build_group_netlist(model, impl, group, seed_base));
+    }
+    std::vector<const Netlist*> pointers;
+    pointers.reserve(components.size());
+    for (const Netlist& component : components) pointers.push_back(&component);
+    return stitch_chain(pointers, model.name() + "_flat");
+  }
+  const GroupGraph graph = build_group_graph(model, groups);
+  const ComponentDfg dfg = expand_group_graph(graph);
   std::vector<Netlist> components;
-  components.reserve(groups.size());
-  for (const auto& group : groups) {
-    components.push_back(build_group_netlist(model, impl, group, seed_base));
+  components.reserve(dfg.nodes.size());
+  for (const ComponentDfg::Node& node : dfg.nodes) {
+    if (node.group_index >= 0) {
+      components.push_back(build_group_netlist(
+          model, impl, groups[static_cast<std::size_t>(node.group_index)], seed_base));
+    } else {
+      components.push_back(make_stream_fork(fork_signature(node.branches), node.branches));
+    }
   }
   std::vector<const Netlist*> pointers;
   pointers.reserve(components.size());
   for (const Netlist& component : components) pointers.push_back(&component);
-  Netlist flat = stitch_chain(pointers, model.name() + "_flat");
-  return flat;
+  return stitch_graph(pointers, dfg.edges, dfg.input_node, dfg.output_node,
+                      model.name() + "_flat");
 }
 
 }  // namespace fpgasim

@@ -10,11 +10,36 @@
 #include "cnn/impl.h"
 #include "cnn/model.h"
 #include "flow/checkpoint_db.h"
+#include "flow/compose.h"
 #include "flow/ooc.h"
 #include "netlist/netlist.h"
 #include "util/thread_pool.h"
 
 namespace fpgasim {
+
+/// The component DAG the flows instantiate: group nodes plus stream-fork
+/// nodes inserted wherever a group output fans out (each output stream
+/// drives exactly one consumer after expansion). Node indices below the
+/// group count are groups, appended nodes are forks.
+struct ComponentDfg {
+  struct Node {
+    int group_index = -1;  // index into the grouping, or -1 for a fork
+    int branches = 0;      // fork nodes: number of output streams
+  };
+  std::vector<Node> nodes;
+  std::vector<StreamEdge> edges;
+  int input_node = 0;
+  int output_node = 0;
+};
+
+/// Expands a validated GroupGraph into the instantiable DFG by inserting
+/// 1-to-N stream forks on every multi-consumer group output. Deterministic:
+/// fork nodes are appended in ascending source-group order.
+ComponentDfg expand_group_graph(const GroupGraph& graph);
+
+/// Checkpoint-database key of a 1-to-N stream fork (forks are model- and
+/// weight-independent, so all designs share them).
+std::string fork_signature(int branches);
 
 /// Synthesizes the netlist of one component group (conv/pool/fc layers,
 /// relus fused). Weight seeds follow reference_inference so functional
@@ -39,11 +64,13 @@ struct DbBuildReport {
 
 /// Ensures every group of `groups` has a checkpoint in `db`, implementing
 /// the missing ones OOC — in parallel across components on `pool` (the
-/// global pool when null; a width-1 pool builds serially). Each component's
-/// seed derives from its dedup index alone, so the resulting database is
-/// bit-identical for every pool width. Returns the number of components
-/// actually implemented (cache misses), also recorded in `report` with
-/// wall/CPU times when non-null.
+/// global pool when null; a width-1 pool builds serially). For branching
+/// models the stream forks required by the group DAG are implemented and
+/// stored too (after the group components, keyed by fork_signature). Each
+/// component's seed derives from its dedup index alone, so the resulting
+/// database is bit-identical for every pool width. Returns the number of
+/// components actually implemented (cache misses), also recorded in
+/// `report` with wall/CPU times when non-null.
 std::size_t prepare_component_db(const Device& device, const CnnModel& model,
                                  const ModelImpl& impl,
                                  const std::vector<std::vector<int>>& groups,
@@ -53,7 +80,8 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
                                  DbBuildReport* report = nullptr);
 
 /// Synthesizes the whole model as one flat netlist (the baseline flow's
-/// input): all group netlists chained.
+/// input): all group netlists (plus stream forks for branching models)
+/// stitched along the component DAG.
 Netlist build_flat_netlist(const CnnModel& model, const ModelImpl& impl,
                            const std::vector<std::vector<int>>& groups,
                            std::uint64_t seed_base = 1000);

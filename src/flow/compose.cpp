@@ -3,6 +3,7 @@
 #include "synth/layers.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace fpgasim {
 
@@ -97,27 +98,77 @@ NetId Composer::port_net(int instance, const std::string& port_name) const {
                            "' has no port '" + port_name + "'");
 }
 
-void Composer::connect(int from, int to) {
+bool Composer::has_port(int instance, const std::string& port_name) const {
+  for (const Port& port : instance_ports_[static_cast<std::size_t>(instance)]) {
+    if (port.name == port_name) return true;
+  }
+  return false;
+}
+
+void Composer::connect(int from, int to, int to_port, int from_port) {
+  const auto out_key = std::make_pair(from, from_port);
+  const auto in_key = std::make_pair(to, to_port);
+  for (const auto& used : used_outputs_) {
+    if (used == out_key) {
+      throw std::runtime_error(
+          "composer: output stream " + std::to_string(from_port) + " of instance '" +
+          design_.instances[static_cast<std::size_t>(from)].name +
+          "' already drives a consumer; stream fan-out needs an explicit fork "
+          "component (make_stream_fork)");
+    }
+  }
+  for (const auto& used : used_inputs_) {
+    if (used == in_key) {
+      throw std::runtime_error(
+          "composer: input stream " + std::to_string(to_port) + " of instance '" +
+          design_.instances[static_cast<std::size_t>(to)].name + "' already has a producer");
+    }
+  }
+  used_outputs_.push_back(out_key);
+  used_inputs_.push_back(in_key);
   // Data/valid flow downstream; ready flows back upstream.
-  alias_net(design_.netlist, design_.phys, port_net(to, "in_data"), port_net(from, "out_data"));
-  alias_net(design_.netlist, design_.phys, port_net(to, "in_valid"), port_net(from, "out_valid"));
-  alias_net(design_.netlist, design_.phys, port_net(from, "out_ready"), port_net(to, "in_ready"));
+  alias_net(design_.netlist, design_.phys,
+            port_net(to, stream_port_name("in", to_port, "data")),
+            port_net(from, stream_port_name("out", from_port, "data")));
+  alias_net(design_.netlist, design_.phys,
+            port_net(to, stream_port_name("in", to_port, "valid")),
+            port_net(from, stream_port_name("out", from_port, "valid")));
+  alias_net(design_.netlist, design_.phys,
+            port_net(from, stream_port_name("out", from_port, "ready")),
+            port_net(to, stream_port_name("in", to_port, "ready")));
   design_.macro_nets.push_back(MacroNet{{from, to}, 1.0});
 }
 
 void Composer::expose_input(int instance) {
   Netlist& nl = design_.netlist;
-  nl.add_port(Port{"in_data", PortDir::kInput, kDataW, port_net(instance, "in_data")});
-  nl.add_port(Port{"in_valid", PortDir::kInput, 1, port_net(instance, "in_valid")});
-  nl.add_port(Port{"in_ready", PortDir::kOutput, 1, port_net(instance, "in_ready")});
+  if (!has_port(instance, "in_data")) port_net(instance, "in_data");  // throws
+  for (int k = 0; has_port(instance, stream_port_name("in", k, "data")); ++k) {
+    bool used = false;
+    for (const auto& key : used_inputs_) used |= key == std::make_pair(instance, k);
+    if (used) continue;
+    nl.add_port(Port{stream_port_name("in", k, "data"), PortDir::kInput, kDataW,
+                     port_net(instance, stream_port_name("in", k, "data"))});
+    nl.add_port(Port{stream_port_name("in", k, "valid"), PortDir::kInput, 1,
+                     port_net(instance, stream_port_name("in", k, "valid"))});
+    nl.add_port(Port{stream_port_name("in", k, "ready"), PortDir::kOutput, 1,
+                     port_net(instance, stream_port_name("in", k, "ready"))});
+  }
 }
 
 void Composer::expose_output(int instance) {
   Netlist& nl = design_.netlist;
-  nl.add_port(
-      Port{"out_data", PortDir::kOutput, kDataW, port_net(instance, "out_data")});
-  nl.add_port(Port{"out_valid", PortDir::kOutput, 1, port_net(instance, "out_valid")});
-  nl.add_port(Port{"out_ready", PortDir::kInput, 1, port_net(instance, "out_ready")});
+  if (!has_port(instance, "out_data")) port_net(instance, "out_data");  // throws
+  for (int k = 0; has_port(instance, stream_port_name("out", k, "data")); ++k) {
+    bool used = false;
+    for (const auto& key : used_outputs_) used |= key == std::make_pair(instance, k);
+    if (used) continue;
+    nl.add_port(Port{stream_port_name("out", k, "data"), PortDir::kOutput, kDataW,
+                     port_net(instance, stream_port_name("out", k, "data"))});
+    nl.add_port(Port{stream_port_name("out", k, "valid"), PortDir::kOutput, 1,
+                     port_net(instance, stream_port_name("out", k, "valid"))});
+    nl.add_port(Port{stream_port_name("out", k, "ready"), PortDir::kInput, 1,
+                     port_net(instance, stream_port_name("out", k, "ready"))});
+  }
 }
 
 ComposedDesign Composer::finish() && {
@@ -132,9 +183,18 @@ ComposedDesign Composer::finish() && {
 }
 
 Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::string& name) {
+  std::vector<StreamEdge> edges;
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+    edges.push_back(StreamEdge{static_cast<int>(s), static_cast<int>(s + 1), 0, 0});
+  }
+  return stitch_graph(stages, edges, 0, static_cast<int>(stages.size()) - 1, name);
+}
+
+Netlist stitch_graph(const std::vector<const Netlist*>& stages,
+                     const std::vector<StreamEdge>& edges, int input_stage,
+                     int output_stage, const std::string& name) {
   Netlist top(name);
   std::vector<std::vector<Port>> ports;
-  PhysState unused;
   for (const Netlist* stage : stages) {
     const auto [cell_offset, net_offset] = top.merge(*stage);
     (void)cell_offset;
@@ -142,24 +202,59 @@ Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::strin
     for (Port& port : adjusted) port.net += net_offset;
     ports.push_back(std::move(adjusted));
   }
-  auto find = [&](std::size_t stage, const std::string& port_name) -> NetId {
-    for (const Port& port : ports[stage]) {
+  auto maybe_find = [&](int stage, const std::string& port_name) -> NetId {
+    for (const Port& port : ports[static_cast<std::size_t>(stage)]) {
       if (port.name == port_name) return port.net;
     }
-    throw std::runtime_error("stitch_chain: stage missing port '" + port_name + "'");
+    return kInvalidNet;
   };
-  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
-    alias_net(top, find(s + 1, "in_data"), find(s, "out_data"));
-    alias_net(top, find(s + 1, "in_valid"), find(s, "out_valid"));
-    alias_net(top, find(s, "out_ready"), find(s + 1, "in_ready"));
+  auto find = [&](int stage, const std::string& port_name) -> NetId {
+    const NetId net = maybe_find(stage, port_name);
+    if (net == kInvalidNet) {
+      throw std::runtime_error("stitch_graph: stage missing port '" + port_name + "'");
+    }
+    return net;
+  };
+  for (const StreamEdge& e : edges) {
+    alias_net(top, find(e.to, stream_port_name("in", e.to_port, "data")),
+              find(e.from, stream_port_name("out", e.from_port, "data")));
+    alias_net(top, find(e.to, stream_port_name("in", e.to_port, "valid")),
+              find(e.from, stream_port_name("out", e.from_port, "valid")));
+    alias_net(top, find(e.from, stream_port_name("out", e.from_port, "ready")),
+              find(e.to, stream_port_name("in", e.to_port, "ready")));
   }
-  top.add_port(Port{"in_data", PortDir::kInput, kDataW, find(0, "in_data")});
-  top.add_port(Port{"in_valid", PortDir::kInput, 1, find(0, "in_valid")});
-  top.add_port(Port{"in_ready", PortDir::kOutput, 1, find(0, "in_ready")});
-  const std::size_t last = stages.size() - 1;
-  top.add_port(Port{"out_data", PortDir::kOutput, kDataW, find(last, "out_data")});
-  top.add_port(Port{"out_valid", PortDir::kOutput, 1, find(last, "out_valid")});
-  top.add_port(Port{"out_ready", PortDir::kInput, 1, find(last, "out_ready")});
+  auto is_connected_input = [&](int stage, int port) {
+    for (const StreamEdge& e : edges) {
+      if (e.to == stage && e.to_port == port) return true;
+    }
+    return false;
+  };
+  auto is_connected_output = [&](int stage, int port) {
+    for (const StreamEdge& e : edges) {
+      if (e.from == stage && e.from_port == port) return true;
+    }
+    return false;
+  };
+  for (int k = 0; maybe_find(input_stage, stream_port_name("in", k, "data")) != kInvalidNet;
+       ++k) {
+    if (is_connected_input(input_stage, k)) continue;
+    top.add_port(Port{stream_port_name("in", k, "data"), PortDir::kInput, kDataW,
+                      find(input_stage, stream_port_name("in", k, "data"))});
+    top.add_port(Port{stream_port_name("in", k, "valid"), PortDir::kInput, 1,
+                      find(input_stage, stream_port_name("in", k, "valid"))});
+    top.add_port(Port{stream_port_name("in", k, "ready"), PortDir::kOutput, 1,
+                      find(input_stage, stream_port_name("in", k, "ready"))});
+  }
+  for (int k = 0;
+       maybe_find(output_stage, stream_port_name("out", k, "data")) != kInvalidNet; ++k) {
+    if (is_connected_output(output_stage, k)) continue;
+    top.add_port(Port{stream_port_name("out", k, "data"), PortDir::kOutput, kDataW,
+                      find(output_stage, stream_port_name("out", k, "data"))});
+    top.add_port(Port{stream_port_name("out", k, "valid"), PortDir::kOutput, 1,
+                      find(output_stage, stream_port_name("out", k, "valid"))});
+    top.add_port(Port{stream_port_name("out", k, "ready"), PortDir::kInput, 1,
+                      find(output_stage, stream_port_name("out", k, "ready"))});
+  }
   return top;
 }
 

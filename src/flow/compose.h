@@ -15,6 +15,17 @@
 
 namespace fpgasim {
 
+/// A stream edge of a component DAG: output stream `from_port` of node
+/// `from` feeds input stream `to_port` of node `to`. Port k maps to the
+/// stream_port_name() port group ("in_data"/"in2_data"/...).
+struct StreamEdge {
+  int from = -1;
+  int to = -1;
+  int from_port = 0;
+  int to_port = 0;
+  friend bool operator==(const StreamEdge&, const StreamEdge&) = default;
+};
+
 /// Rewires every sink of `driverless` (an input-port net with no driver)
 /// onto `driven`, merging the two nets. The driverless net becomes dead.
 void alias_net(Netlist& netlist, NetId driverless, NetId driven);
@@ -62,14 +73,19 @@ class Composer {
   int add_instance(const Checkpoint& checkpoint, const std::string& instance_name,
                    std::size_t source_index = 0);
 
-  /// Stream-connects instance `from` to instance `to`:
-  /// out_data/out_valid -> in_data/in_valid, in_ready -> out_ready.
-  void connect(int from, int to);
+  /// Stream-connects output stream `from_port` of instance `from` to input
+  /// stream `to_port` of instance `to`: out_data/out_valid ->
+  /// in_data/in_valid, in_ready -> out_ready. Each output stream drives at
+  /// most one consumer and each input stream has at most one producer;
+  /// violating either throws (fan-out needs an explicit stream fork
+  /// component, see make_stream_fork).
+  void connect(int from, int to, int to_port = 0, int from_port = 0);
 
-  /// Exposes `instance`'s input stream as top-level ports
-  /// (in_data/in_valid/in_ready).
+  /// Exposes `instance`'s still-unconnected input streams as top-level
+  /// ports (in_data/in_valid/in_ready, then in2_*, ...).
   void expose_input(int instance);
-  /// Exposes `instance`'s output stream as top-level ports.
+  /// Exposes `instance`'s still-unconnected output streams as top-level
+  /// ports.
   void expose_output(int instance);
 
   /// Finalizes the composition. Runs the structural DRC subset over the
@@ -79,14 +95,26 @@ class Composer {
 
  private:
   NetId port_net(int instance, const std::string& port_name) const;
+  bool has_port(int instance, const std::string& port_name) const;
 
   ComposedDesign design_;
   std::vector<std::vector<Port>> instance_ports_;  // offset-adjusted copies
+  std::vector<std::pair<int, int>> used_outputs_;  // (instance, stream index)
+  std::vector<std::pair<int, int>> used_inputs_;
 };
 
 /// Convenience: functionally stitches a linear chain of *unimplemented*
 /// netlists into one flat netlist with the standard stream interface.
 /// Used to form multi-layer components ahead of OOC implementation.
 Netlist stitch_chain(const std::vector<const Netlist*>& stages, const std::string& name);
+
+/// Functionally stitches an *unimplemented* component DAG into one flat
+/// netlist: every edge is aliased like stitch_chain's neighbor stitching,
+/// the unconnected input streams of `input_stage` and output streams of
+/// `output_stage` become the top-level stream interface. For a linear
+/// chain this reduces to stitch_chain exactly.
+Netlist stitch_graph(const std::vector<const Netlist*>& stages,
+                     const std::vector<StreamEdge>& edges, int input_stage,
+                     int output_stage, const std::string& name);
 
 }  // namespace fpgasim

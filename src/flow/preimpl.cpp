@@ -8,11 +8,11 @@
 
 namespace fpgasim {
 
-PreImplReport run_preimpl_flow(const Device& device,
-                               const std::vector<const Checkpoint*>& chain,
-                               const std::vector<std::string>& instance_names,
+PreImplReport run_preimpl_flow(const Device& device, const ComponentGraph& graph,
                                ComposedDesign& out, const PreImplOptions& opt) {
-  if (chain.empty()) throw std::invalid_argument("run_preimpl_flow: empty chain");
+  if (graph.nodes.empty()) throw std::invalid_argument("run_preimpl_flow: empty graph");
+  const int output_node =
+      graph.output_node >= 0 ? graph.output_node : static_cast<int>(graph.nodes.size()) - 1;
   PreImplReport report;
   Stopwatch total;
   CpuStopwatch total_cpu;
@@ -35,24 +35,25 @@ PreImplReport run_preimpl_flow(const Device& device,
   // Architecture composition: fill black boxes, insert the stream nets.
   Stopwatch stage;
   Composer composer("preimpl_top");
-  for (std::size_t i = 0; i < chain.size(); ++i) {
-    composer.add_instance(*chain[i],
-                          i < instance_names.size() ? instance_names[i]
-                                                    : "inst" + std::to_string(i),
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const Checkpoint* node = graph.nodes[i];
+    composer.add_instance(*node,
+                          i < graph.names.size() ? graph.names[i]
+                                                 : "inst" + std::to_string(i),
                           i);
-    report.function_opt_seconds += chain[i]->meta.implement_seconds;
-    if (chain[i]->meta.fmax_mhz > 0.0 &&
+    report.function_opt_seconds += node->meta.implement_seconds;
+    if (node->meta.fmax_mhz > 0.0 &&
         (report.slowest_component_mhz == 0.0 ||
-         chain[i]->meta.fmax_mhz < report.slowest_component_mhz)) {
-      report.slowest_component_mhz = chain[i]->meta.fmax_mhz;
-      report.slowest_component = chain[i]->netlist.name();
+         node->meta.fmax_mhz < report.slowest_component_mhz)) {
+      report.slowest_component_mhz = node->meta.fmax_mhz;
+      report.slowest_component = node->netlist.name();
     }
   }
-  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-    composer.connect(static_cast<int>(i), static_cast<int>(i + 1));
+  for (const StreamEdge& e : graph.edges) {
+    composer.connect(e.from, e.to, e.to_port, e.from_port);
   }
-  composer.expose_input(0);
-  composer.expose_output(static_cast<int>(chain.size()) - 1);
+  composer.expose_input(graph.input_node);
+  composer.expose_output(output_node);
   out = std::move(composer).finish();
   report.stitch_seconds = stage.seconds();
   drc_gate(kDrcStructural, report.drc_compose, "preimpl after compose");
@@ -100,26 +101,71 @@ PreImplReport run_preimpl_flow(const Device& device,
   return report;
 }
 
+PreImplReport run_preimpl_flow(const Device& device,
+                               const std::vector<const Checkpoint*>& chain,
+                               const std::vector<std::string>& instance_names,
+                               ComposedDesign& out, const PreImplOptions& opt) {
+  ComponentGraph graph;
+  graph.nodes = chain;
+  graph.names = instance_names;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    graph.edges.push_back(StreamEdge{static_cast<int>(i), static_cast<int>(i + 1), 0, 0});
+  }
+  return run_preimpl_flow(device, graph, out, opt);
+}
+
 PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
                               const ModelImpl& impl,
                               const std::vector<std::vector<int>>& groups,
                               const CheckpointDb& db, ComposedDesign& out,
                               const PreImplOptions& opt, std::uint64_t seed_base) {
-  // Component extraction + matching (BFS over the chain DFG): every group
-  // must resolve to a pre-built checkpoint.
-  std::vector<const Checkpoint*> chain;
-  std::vector<std::string> names;
-  for (const auto& group : groups) {
-    const std::string key = group_signature(model, impl, group, seed_base);
-    const Checkpoint* checkpoint = db.get(key);
-    if (checkpoint == nullptr) {
-      throw std::runtime_error("component matching failed: no checkpoint for '" + key +
-                               "' (run prepare_component_db first)");
+  // Component extraction + matching (BFS over the DFG): every group and
+  // every required stream fork must resolve to a pre-built checkpoint.
+  const GroupGraph group_graph = build_group_graph(model, groups);
+  const ComponentDfg dfg = expand_group_graph(group_graph);
+  ComponentGraph graph;
+  for (std::size_t n = 0; n < dfg.nodes.size(); ++n) {
+    const ComponentDfg::Node& node = dfg.nodes[n];
+    if (node.group_index >= 0) {
+      const std::vector<int>& group = groups[static_cast<std::size_t>(node.group_index)];
+      const std::string key = group_signature(model, impl, group, seed_base);
+      const Checkpoint* checkpoint = db.get(key);
+      if (checkpoint == nullptr) {
+        // Spell out which layers the unmatched group contains: the
+        // signature alone is too opaque to act on.
+        std::string layers;
+        for (int idx : group) {
+          const Layer& layer = model.layers()[static_cast<std::size_t>(idx)];
+          if (!layers.empty()) layers += ", ";
+          layers += layer.name;
+          layers += " (";
+          layers += to_string(layer.kind);
+          layers += ")";
+        }
+        throw std::runtime_error("component matching failed for group [" + layers +
+                                 "]: no checkpoint for '" + key +
+                                 "' (run prepare_component_db first)");
+      }
+      graph.nodes.push_back(checkpoint);
+      graph.names.push_back(checkpoint->netlist.name());
+    } else {
+      const std::string key = fork_signature(node.branches);
+      const Checkpoint* checkpoint = db.get(key);
+      if (checkpoint == nullptr) {
+        throw std::runtime_error("component matching failed: no checkpoint for the " +
+                                 std::to_string(node.branches) + "-way stream fork '" +
+                                 key + "' (run prepare_component_db first)");
+      }
+      graph.nodes.push_back(checkpoint);
+      // Fork checkpoints are shared across fan-out sites; suffix the node
+      // index so instance names stay unique.
+      graph.names.push_back(checkpoint->netlist.name() + "_" + std::to_string(n));
     }
-    chain.push_back(checkpoint);
-    names.push_back(checkpoint->netlist.name());
   }
-  return run_preimpl_flow(device, chain, names, out, opt);
+  graph.edges = dfg.edges;
+  graph.input_node = dfg.input_node;
+  graph.output_node = dfg.output_node;
+  return run_preimpl_flow(device, graph, out, opt);
 }
 
 }  // namespace fpgasim

@@ -59,16 +59,37 @@ struct PreImplReport {
   }
 };
 
-/// Runs the pre-implemented flow over an ordered chain of checkpoints
-/// (component instances, first = network input). The composed design is
-/// returned through `out` for further use (simulation, inspection).
+/// A component DAG of pre-implemented checkpoints, ready to stitch:
+/// node i is instantiated as `names[i]` (falls back to "inst<i>" when the
+/// name list is short), `edges` are the stream edges, `input_node` /
+/// `output_node` expose the design boundary (`output_node == -1` means the
+/// last node). Checkpoints must stay alive through the flow.
+struct ComponentGraph {
+  std::vector<const Checkpoint*> nodes;
+  std::vector<std::string> names;
+  std::vector<StreamEdge> edges;
+  int input_node = 0;
+  int output_node = -1;
+};
+
+/// Runs the pre-implemented flow over a component DAG: black-box stitching
+/// along the stream edges, relocation placement over the real DFG
+/// macro-nets, inter-component routing, STA — each stage DRC-gated. The
+/// composed design is returned through `out` for further use (simulation,
+/// inspection).
+PreImplReport run_preimpl_flow(const Device& device, const ComponentGraph& graph,
+                               ComposedDesign& out, const PreImplOptions& opt = {});
+
+/// Chain-shaped wrapper for linear designs: equivalent to a ComponentGraph
+/// whose edges connect consecutive checkpoints.
 PreImplReport run_preimpl_flow(const Device& device,
                                const std::vector<const Checkpoint*>& chain,
                                const std::vector<std::string>& instance_names,
                                ComposedDesign& out, const PreImplOptions& opt = {});
 
-/// CNN front end: matches each group against the database (component
-/// matching) and runs the flow over the resulting chain.
+/// CNN front end: matches each group (and the stream forks of branching
+/// models) against the database (component matching, BFS over the DFG) and
+/// runs the flow over the resulting component graph.
 PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
                               const ModelImpl& impl,
                               const std::vector<std::vector<int>>& groups,

@@ -78,4 +78,32 @@ std::vector<Fixed16> golden_fc(const std::vector<Fixed16>& input,
   return out;
 }
 
+Tensor golden_add(const std::vector<const Tensor*>& inputs) {
+  assert(inputs.size() >= 2);
+  Tensor out = *inputs.front();
+  for (std::size_t k = 1; k < inputs.size(); ++k) {
+    const Tensor& in = *inputs[k];
+    assert(in.data.size() == out.data.size());
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      out.data[i] = out.data[i] + in.data[i];  // Fixed16::+ saturates
+    }
+  }
+  return out;
+}
+
+Tensor golden_concat(const std::vector<const Tensor*>& inputs) {
+  assert(inputs.size() >= 2);
+  int channels = 0;
+  for (const Tensor* in : inputs) {
+    assert(in->height == inputs.front()->height && in->width == inputs.front()->width);
+    channels += in->channels;
+  }
+  Tensor out{channels, inputs.front()->height, inputs.front()->width, {}};
+  out.data.reserve(static_cast<std::size_t>(channels) * out.height * out.width);
+  for (const Tensor* in : inputs) {
+    out.data.insert(out.data.end(), in->data.begin(), in->data.end());
+  }
+  return out;
+}
+
 }  // namespace fpgasim

@@ -46,4 +46,13 @@ std::vector<Fixed16> golden_fc(const std::vector<Fixed16>& input,
                                const std::vector<Fixed16>& weights,
                                const std::vector<Fixed16>& bias, int outputs);
 
+/// Element-wise saturating sum of >= 2 identically-shaped tensors (the
+/// join of a residual connection).
+Tensor golden_add(const std::vector<const Tensor*>& inputs);
+
+/// Channel concatenation of >= 2 tensors with equal spatial shape (the
+/// join of an inception-style branch); channel-major layout means the
+/// inputs are simply appended in order.
+Tensor golden_concat(const std::vector<const Tensor*>& inputs);
+
 }  // namespace fpgasim

@@ -468,6 +468,195 @@ Netlist make_input_streamer(const std::string& name, const std::vector<Fixed16>&
   return std::move(b).take();
 }
 
+std::string stream_port_name(const char* direction, int index, const char* field) {
+  std::string port = direction;
+  if (index > 0) port += std::to_string(index + 1);
+  port += "_";
+  port += field;
+  return port;
+}
+
+namespace {
+
+/// Per-input source controller of a join component: accepts stream `k`
+/// while LOADing until `volume` words arrived, holding a done latch (the
+/// pool-controller idiom) so ports finishing early simply deassert ready.
+struct JoinPort {
+  NetId buf = kInvalidNet;   // BRAM read data (1-cycle latency)
+  NetId done = kInvalidNet;  // done | wrapping this cycle
+};
+
+JoinPort make_join_port(NetlistBuilder& b, int k, int volume, NetId is_load,
+                        NetId raddr) {
+  JoinPort port;
+  const NetId in_data = b.in_port(stream_port_name("in", k, "data"), kDataW);
+  const NetId in_valid = b.in_port(stream_port_name("in", k, "valid"), 1);
+
+  Cell done_cell;
+  done_cell.type = CellType::kFf;
+  done_cell.width = 1;
+  done_cell.name = "ld_done" + std::to_string(k);
+  const CellId done_reg = b.netlist().add_cell(std::move(done_cell));
+  const NetId done_latch = b.netlist().add_net(1);
+  b.netlist().connect_output(done_reg, 0, done_latch);
+
+  const NetId accept = b.and2(is_load, b.not1(done_latch));
+  const NetId wr = b.and2(accept, in_valid);
+  const auto pix = b.counter(static_cast<std::uint32_t>(volume), wr, kAddrW,
+                             "ld_pix" + std::to_string(k));
+  b.netlist().connect_input(done_reg, 0,
+                            b.and2(is_load, b.or2(done_latch, pix.wrap)));
+  b.netlist().connect_input(done_reg, 1, b.one());
+
+  port.buf = b.bram(pix.value, in_data, wr, static_cast<std::uint32_t>(volume), kDataW,
+                    -1, "buf" + std::to_string(k), raddr);
+  port.done = b.or2(done_latch, pix.wrap);
+  b.out_port(stream_port_name("in", k, "ready"), accept);
+  return port;
+}
+
+}  // namespace
+
+Netlist make_add_component(const std::string& name, int volume, int n_inputs,
+                           bool fuse_relu) {
+  NetlistBuilder b(name);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  // Sink controller first: the shared read address feeds every bank.
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto rpix = b.counter(static_cast<std::uint32_t>(volume), streaming, kAddrW, "rpix");
+
+  NetId load_done = kInvalidNet;
+  NetId sum = kInvalidNet;
+  const NetId one_q88 = b.constant(256, kDataW);  // 1.0 in Q8.8
+  for (int k = 0; k < n_inputs; ++k) {
+    const JoinPort port = make_join_port(b, k, volume, is_load, rpix.value);
+    load_done = k == 0 ? port.done : b.and2(load_done, port.done);
+    // Saturating fold, matching golden_add: acc = sat(buf_k + acc). A
+    // stage-0 DSP computes clamp(clamp((a*b)>>8) + c) = sat(a + c) for
+    // b == 1.0, so every partial sum saturates exactly like Fixed16::+.
+    sum = k == 0 ? port.buf : b.dsp(port.buf, one_q88, sum, 8, 0, kDataW);
+  }
+  NetId result = sum;
+  if (fuse_relu) result = b.relu(result, kDataW);
+
+  const NetId out_data = b.ff(result, kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = rpix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_concat_component(const std::string& name, const std::vector<int>& volumes,
+                              bool fuse_relu) {
+  NetlistBuilder b(name);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  long total = 0;
+  for (int v : volumes) total += v;
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto rpix = b.counter(static_cast<std::uint32_t>(total), streaming, kAddrW, "rpix");
+
+  NetId load_done = kInvalidNet;
+  NetId data = kInvalidNet;
+  long offset = 0;
+  for (std::size_t k = 0; k < volumes.size(); ++k) {
+    const int volume = volumes[k];
+    // Bank k owns output words [offset, offset + volume); clamp the read
+    // address to 0 outside that window so the BRAM never sees an
+    // out-of-range index.
+    const NetId off = b.constant(static_cast<std::uint64_t>(offset), kAddrW);
+    const NetId ge_off =
+        k == 0 ? b.one() : b.not1(b.ltu(rpix.value, off));
+    const NetId below_end =
+        k + 1 == volumes.size()
+            ? b.one()
+            : b.ltu(rpix.value,
+                    b.constant(static_cast<std::uint64_t>(offset + volume), kAddrW));
+    const NetId in_range = b.and2(ge_off, below_end);
+    const NetId raddr = b.mux2(b.zero(kAddrW), b.sub(rpix.value, off, kAddrW), in_range,
+                               kAddrW);
+    const JoinPort port = make_join_port(b, static_cast<int>(k), volume, is_load, raddr);
+    load_done = k == 0 ? port.done : b.and2(load_done, port.done);
+    // Bank select is aligned to the 1-cycle BRAM read latency.
+    data = k == 0 ? port.buf : b.mux2(data, port.buf, b.delay(ge_off, 1, 1), kDataW);
+    offset += volume;
+  }
+  NetId result = data;
+  if (fuse_relu) result = b.relu(result, kDataW);
+
+  const NetId out_data = b.ff(result, kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = rpix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_stream_fork(const std::string& name, int branches, int width) {
+  NetlistBuilder b(name);
+  const std::uint16_t w = static_cast<std::uint16_t>(width);
+  const NetId in_data = b.in_port("in_data", w);
+  const NetId in_valid = b.in_port("in_valid", 1);
+
+  // One shared skid word, one full flag per branch. A new word is accepted
+  // only when every branch is empty or popping this cycle, so the shared
+  // register can never clobber an unconsumed word.
+  std::vector<NetId> ready(static_cast<std::size_t>(branches));
+  std::vector<NetId> full(static_cast<std::size_t>(branches));
+  std::vector<CellId> full_reg(static_cast<std::size_t>(branches));
+  NetId all_clear = kInvalidNet;
+  for (int k = 0; k < branches; ++k) {
+    ready[static_cast<std::size_t>(k)] =
+        b.in_port(stream_port_name("out", k, "ready"), 1);
+    Cell cell;
+    cell.type = CellType::kFf;
+    cell.width = 1;
+    cell.name = "full" + std::to_string(k);
+    full_reg[static_cast<std::size_t>(k)] = b.netlist().add_cell(std::move(cell));
+    full[static_cast<std::size_t>(k)] = b.netlist().add_net(1);
+    b.netlist().connect_output(full_reg[static_cast<std::size_t>(k)], 0,
+                               full[static_cast<std::size_t>(k)]);
+    const NetId clear = b.or2(b.not1(full[static_cast<std::size_t>(k)]),
+                              ready[static_cast<std::size_t>(k)]);
+    all_clear = k == 0 ? clear : b.and2(all_clear, clear);
+  }
+  const NetId push = b.and2(in_valid, all_clear);
+  const NetId data = b.ff(in_data, push, w, "skid");
+  for (int k = 0; k < branches; ++k) {
+    const NetId hold = b.and2(full[static_cast<std::size_t>(k)],
+                              b.not1(ready[static_cast<std::size_t>(k)]));
+    b.netlist().connect_input(full_reg[static_cast<std::size_t>(k)], 0,
+                              b.or2(push, hold));
+    b.netlist().connect_input(full_reg[static_cast<std::size_t>(k)], 1, b.one());
+    b.out_port(stream_port_name("out", k, "data"), data);
+    b.out_port(stream_port_name("out", k, "valid"), full[static_cast<std::size_t>(k)]);
+  }
+  b.out_port("in_ready", all_clear);
+  return std::move(b).take();
+}
+
 Netlist make_mmu_component(const std::string& name, int buffer_words) {
   NetlistBuilder b(name);
   const NetId in_data = b.in_port("in_data", kDataW);

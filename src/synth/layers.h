@@ -108,4 +108,33 @@ Netlist make_input_streamer(const std::string& name, const std::vector<Fixed16>&
 /// style bursts and the stream fabric (used by the VGG example).
 Netlist make_mmu_component(const std::string& name, int buffer_words);
 
+// -- branching-DFG components -----------------------------------------------
+
+/// Canonical stream port name for multi-stream components. Index 0 keeps
+/// the historical names ("in_data", "out_valid", ...); index k > 0 gets a
+/// 1-based suffix on the direction ("in2_data", "out3_ready", ...).
+/// `direction` is "in" or "out"; `field` is "data", "valid" or "ready".
+std::string stream_port_name(const char* direction, int index, const char* field);
+
+/// Element-wise saturating-add join of `n_inputs` identically-shaped
+/// streams of `volume` words each (residual connections). Every input
+/// stream loads concurrently into its own bank (so upstream branches of a
+/// fork can never deadlock on arrival order), then the sums drain through
+/// a saturating DSP chain — bit-exact with golden_add's Q8.8 fold.
+Netlist make_add_component(const std::string& name, int volume, int n_inputs,
+                           bool fuse_relu = false);
+
+/// Channel-concatenation join: input k carries `volumes[k]` words; the
+/// output drains the banks back to back in port order (channel-major
+/// layout makes concat a pure reorder). Loads are concurrent as in
+/// make_add_component.
+Netlist make_concat_component(const std::string& name, const std::vector<int>& volumes,
+                              bool fuse_relu = false);
+
+/// 1-to-N stream fork: broadcasts the input stream to `branches` output
+/// streams with a per-branch skid flag. A word is accepted only when every
+/// branch is empty or popping that cycle, so slow branches backpressure
+/// the source and no data is dropped or duplicated.
+Netlist make_stream_fork(const std::string& name, int branches, int width = kDataW);
+
 }  // namespace fpgasim

@@ -46,6 +46,97 @@ TEST(AliasNet, RefusesDrivenSource) {
   EXPECT_THROW(alias_net(nl, n1, n2), std::runtime_error);
 }
 
+TEST(AliasNet, MergesFanOutOntoOneDrivenNet) {
+  // Two driverless nets collapsed onto one driven net: the driven net must
+  // accumulate every sink (stream fan-out after stitching a fork), and the
+  // merged design must stay DRC-clean for channel capacity and routing.
+  Netlist nl("fanout");
+  const NetId driven = nl.add_net(8);
+  const NetId dead_a = nl.add_net(8);
+  const NetId dead_b = nl.add_net(8);
+  Cell drv;
+  drv.type = CellType::kFf;
+  drv.width = 8;
+  const CellId d = nl.add_cell(std::move(drv));
+  nl.connect_output(d, 0, driven);
+  std::vector<CellId> sinks;
+  for (int i = 0; i < 4; ++i) {
+    Cell snk;
+    snk.type = CellType::kFf;
+    snk.width = 8;
+    sinks.push_back(nl.add_cell(std::move(snk)));
+  }
+  nl.connect_input(sinks[0], 0, dead_a);
+  nl.connect_input(sinks[1], 0, dead_a);
+  nl.connect_input(sinks[2], 0, dead_b);
+  nl.connect_input(sinks[3], 0, driven);
+
+  PhysState phys;
+  phys.resize_for(nl);
+  // Stale routes on the dead nets must be dropped by the phys overload.
+  phys.routes[dead_a].edges.push_back({TileCoord{0, 0}, TileCoord{1, 0}});
+  phys.routes[dead_b].edges.push_back({TileCoord{0, 1}, TileCoord{1, 1}});
+
+  alias_net(nl, phys, dead_a, driven);
+  alias_net(nl, phys, dead_b, driven);
+
+  ASSERT_EQ(nl.net(driven).sinks.size(), 4u);
+  for (const CellId s : sinks) EXPECT_EQ(nl.cell(s).inputs[0], driven);
+  EXPECT_TRUE(nl.net(dead_a).sinks.empty());
+  EXPECT_TRUE(nl.net(dead_b).sinks.empty());
+  EXPECT_TRUE(phys.routes[dead_a].edges.empty());
+  EXPECT_TRUE(phys.routes[dead_b].edges.empty());
+
+  // Place the 5 cells and route the merged net: a 1-driver 4-sink net must
+  // be legal for both the routing and channel-capacity DRC stages.
+  const Device device = make_xcku5p_sim();
+  phys.cell_loc[d] = TileCoord{2, 2};
+  phys.cell_loc[sinks[0]] = TileCoord{4, 2};
+  phys.cell_loc[sinks[1]] = TileCoord{2, 4};
+  phys.cell_loc[sinks[2]] = TileCoord{5, 5};
+  phys.cell_loc[sinks[3]] = TileCoord{1, 1};
+  RouteOptions ropt;
+  const RouteResult routed = route_design(device, nl, phys, ropt);
+  ASSERT_TRUE(routed.success) << routed.error;
+
+  DrcContext ctx;
+  ctx.netlist = &nl;
+  ctx.phys = &phys;
+  ctx.device = &device;
+  ctx.channel_capacity = ropt.channel_capacity;
+  DrcOptions dopt;
+  dopt.waived_rules = {"net-dangling"};  // top-level stream ports stay open
+  const DrcReport report = run_drc(ctx, kDrcStructural | kDrcPlacement | kDrcRouting, dopt);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(StitchGraph, ForkedDiamondSimulatesBitExact) {
+  // in -> fork -> {relu, relu} -> add: the stitched diamond must behave as
+  // the identity under non-negative data doubled by the join.
+  const Netlist fork = make_stream_fork("fk", 2);
+  const Netlist left = make_relu_component("rl");
+  const Netlist right = make_relu_component("rr");
+  const Netlist join = make_add_component("j", 16, 2);
+  const std::vector<StreamEdge> edges = {
+      {0, 1, 0, 0},  // fork branch 0 -> left
+      {0, 2, 1, 0},  // fork branch 1 -> right
+      {1, 3, 0, 0},  // left -> join port 0
+      {2, 3, 0, 1},  // right -> join port 1
+  };
+  const Netlist top = stitch_graph({&fork, &left, &right, &join}, edges, 0, 3, "diamond");
+  EXPECT_TRUE(top.validate().empty());
+
+  const Tensor input = random_tensor(1, 4, 4, 515);
+  std::vector<Fixed16> expected;
+  for (const Fixed16& v : input.data) {
+    const Fixed16 r = v.raw > 0 ? v : Fixed16::from_raw(0);
+    expected.push_back(r + r);
+  }
+  Simulator sim(top);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
 TEST(StitchChain, FunctionallyEquivalentToSeparateComponents) {
   // conv -> pool stitched into one netlist must equal running the golden
   // layers in sequence.
@@ -193,6 +284,25 @@ TEST(Composer, FinishedDesignPassesStructuralDrc) {
   EXPECT_EQ(instances[0].cell_end, design.instances[0].cell_end);
   EXPECT_EQ(instances[1].net_begin, design.instances[1].net_offset);
   EXPECT_EQ(instances[1].footprint, design.instances[1].footprint);
+}
+
+TEST(Composer, ConnectRefusesImplicitStreamFanOut) {
+  const Checkpoint a = make_fake_checkpoint("a", 4);
+  const Checkpoint b = make_fake_checkpoint("b", 4);
+  const Checkpoint c = make_fake_checkpoint("c", 4);
+  Composer composer("top");
+  const int ia = composer.add_instance(a, "a0");
+  const int ib = composer.add_instance(b, "b0");
+  const int ic = composer.add_instance(c, "c0");
+  composer.connect(ia, ib);
+  try {
+    composer.connect(ia, ic);
+    FAIL() << "expected implicit fan-out to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("make_stream_fork"), std::string::npos);
+  }
+  // Two producers on one input port are equally illegal.
+  EXPECT_THROW(composer.connect(ic, ib), std::runtime_error);
 }
 
 TEST(Composer, MissingPortThrows) {

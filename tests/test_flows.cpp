@@ -212,6 +212,105 @@ TEST(Flows, DrcGateCanBeDisabled) {
   EXPECT_EQ(report.drc.rules_run(), 0u);  // gates skipped entirely
 }
 
+struct ResblockFlow {
+  Device device = make_xcku5p_sim();
+  CnnModel model = make_resblock_net();
+  ModelImpl impl;
+  std::vector<std::vector<int>> groups;
+  CheckpointDb db;
+
+  ResblockFlow() {
+    impl = choose_implementation(model, 16);
+    groups = default_grouping(model);
+    prepare_component_db(device, model, impl, groups, db);
+  }
+};
+
+TEST(Flows, ResblockPreImplEndToEndBitMatchesGolden) {
+  // The branching tentpole: conv -> {identity skip, conv-conv} -> add ->
+  // pool+relu -> fc through compose, relocation placement and routing,
+  // with a stream fork on the skip connection. Every DRC gate must be
+  // clean and the composed simulation bit-exact against the golden DFG.
+  ResblockFlow f;
+  // 6 group components (c1, c2a, c2b, add1, p1+relu, f1) + the 2-way fork.
+  EXPECT_EQ(f.db.size(), 7u);
+  ASSERT_NE(f.db.get(fork_signature(2)), nullptr);
+
+  ComposedDesign composed;
+  const PreImplReport report =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+  EXPECT_TRUE(report.macro.success);
+  EXPECT_TRUE(report.route.success);
+  EXPECT_TRUE(report.drc_compose.clean()) << report.drc_compose.to_string();
+  EXPECT_TRUE(report.drc_place.clean()) << report.drc_place.to_string();
+  EXPECT_TRUE(report.drc.clean()) << report.drc.to_string();
+  EXPECT_EQ(composed.instances.size(), 7u);
+  // The DFG macro-nets cover all 7 stream edges (c1->fork, fork->c2a,
+  // fork->add1, c2a->c2b, c2b->add1, add1->p1, p1->f1).
+  EXPECT_EQ(composed.macro_nets.size(), 7u);
+
+  const Tensor input = testhelpers::random_tensor(2, 8, 8, 905);
+  const auto expected = reference_inference(f.model, input);
+  Simulator sim(composed.netlist);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
+TEST(Flows, ResblockMonolithicBaselineBitMatchesGolden) {
+  ResblockFlow f;
+  Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);
+  EXPECT_TRUE(flat.validate().empty());
+  PhysState phys;
+  const MonoReport mono = run_monolithic_flow(f.device, flat, phys);
+  EXPECT_TRUE(mono.route.success);
+  EXPECT_TRUE(mono.drc_place.clean()) << mono.drc_place.to_string();
+  EXPECT_TRUE(mono.drc.clean()) << mono.drc.to_string();
+
+  const Tensor input = testhelpers::random_tensor(2, 8, 8, 906);
+  const auto expected = reference_inference(f.model, input);
+  Simulator sim(flat);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
+TEST(Flows, ResblockMatchingErrorNamesTheGroupLayers) {
+  ResblockFlow f;
+  CheckpointDb empty;
+  ComposedDesign composed;
+  try {
+    run_preimpl_cnn(f.device, f.model, f.impl, f.groups, empty, composed);
+    FAIL() << "expected component matching to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // The first unmatched group is c1: the message must name the layer and
+    // its kind, not just the opaque signature.
+    EXPECT_NE(what.find("c1 (conv)"), std::string::npos) << what;
+    EXPECT_NE(what.find("prepare_component_db"), std::string::npos) << what;
+  }
+}
+
+TEST(Flows, ChainWrapperStillComposesChains) {
+  // Existing chain-based callers go through the thin wrapper; it must
+  // behave exactly like a two-edge component graph.
+  MiniFlow f;
+  std::vector<const Checkpoint*> chain;
+  std::vector<std::string> names;
+  for (const auto& group : f.groups) {
+    chain.push_back(f.db.get(group_signature(f.model, f.impl, group)));
+    names.push_back(chain.back()->netlist.name());
+  }
+  ComposedDesign composed;
+  const PreImplReport report = run_preimpl_flow(f.device, chain, names, composed);
+  EXPECT_TRUE(report.route.success);
+  EXPECT_EQ(composed.instances.size(), 3u);
+
+  const Tensor input = testhelpers::random_tensor(2, 8, 8, 907);
+  const auto expected = reference_inference(f.model, input);
+  Simulator sim(composed.netlist);
+  const auto out = run_stream(sim, input.data, expected.size());
+  expect_tensor_eq(out, expected);
+}
+
 TEST(Flows, PhysOptCanBeDisabled) {
   MiniFlow f;
   Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);

@@ -102,6 +102,35 @@ TEST(ParallelBuild, DatabaseIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelBuild, BranchingModelDatabaseIsByteIdenticalAcrossThreadCounts) {
+  // The resblock database adds join components and a stream fork to the
+  // work list; fork seeds derive from their position after the group keys,
+  // so pool width must still not leak into any checkpoint.
+  ParallelBuildFixture fixture;
+  fixture.model = make_resblock_net();
+  fixture.impl = choose_implementation(fixture.model, 16);
+  fixture.groups = default_grouping(fixture.model);
+
+  DbBuildReport serial_report;
+  const auto serial = fixture.build(1, &serial_report);
+  // 6 groups + the 2-way fork.
+  EXPECT_EQ(serial_report.implemented, 7u);
+  ASSERT_EQ(serial.size(), 7u);
+
+  for (const std::size_t width : {std::size_t{2}, std::size_t{8}}) {
+    DbBuildReport report;
+    const auto parallel = fixture.build(width, &report);
+    EXPECT_EQ(report.implemented, 7u);
+    ASSERT_EQ(parallel.size(), serial.size()) << "width " << width;
+    for (const auto& [name, bytes] : serial) {
+      const auto it = parallel.find(name);
+      ASSERT_NE(it, parallel.end()) << "missing " << name << " at width " << width;
+      EXPECT_EQ(it->second, bytes)
+          << "checkpoint " << name << " differs at width " << width;
+    }
+  }
+}
+
 TEST(ParallelBuild, CacheHitsSkipReimplementation) {
   ParallelBuildFixture fixture;
   ThreadPool pool(2);

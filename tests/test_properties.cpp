@@ -101,6 +101,56 @@ TEST(Integration, DatabaseDiskRoundTripComposesAndSimulates) {
   expect_tensor_eq(out, expected);
 }
 
+TEST(Property, ArchDefRoundTripIsIdentity) {
+  // parse_arch_def(to_arch_def(m)) == m for every model we can build —
+  // linear chains, branching DFGs with explicit from= edges, and models
+  // that already went through one round trip (idempotence).
+  const std::vector<CnnModel> models = {
+      make_lenet5(),
+      make_resblock_net(),
+      tiny_model(),
+      parse_arch_def(R"(network inception
+input 3 8 8
+conv stem out=4 k=3
+conv b1 out=2 k=1 from=stem
+conv b2 out=6 k=1 from=stem
+concat cat from=b1,b2 relu
+fc head out=4
+)"),
+  };
+  for (const CnnModel& model : models) {
+    const std::string text = to_arch_def(model);
+    CnnModel again = parse_arch_def(text);
+    again.infer_shapes();
+    EXPECT_EQ(again, model) << "round trip changed '" << model.name() << "':\n" << text;
+    // Idempotence: a second trip emits byte-identical text.
+    EXPECT_EQ(to_arch_def(again), text) << model.name();
+  }
+}
+
+TEST(Property, ArchDefErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;  // expected fragment of the message
+  };
+  const std::vector<Case> cases = {
+      {"network x\ninput 1 4 4\nwarp w\n", "line 3"},             // unknown keyword
+      {"network x\ninput 1 4 4\nconv c out=1 k=1 from=no\n", "line 3"},  // bad from=
+      {"network x\ninput 1 4 4\nconv c out=1 k=1\nconv c out=1 k=1\n",
+       "line 4"},                                                 // duplicate name
+      {"network x\ninput 1 4 4\nadd j from=in\n", "line 3"},      // 1-input join
+  };
+  for (const Case& c : cases) {
+    try {
+      parse_arch_def(c.text);
+      FAIL() << "expected parse error for:\n" << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.needle << "'";
+    }
+  }
+}
+
 TEST(Integration, ArchDefDrivesIdenticalResultToProgrammaticModel) {
   // The textual architecture definition and a programmatic model of the
   // same network must produce identical component signatures (and thus

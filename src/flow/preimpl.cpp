@@ -71,6 +71,7 @@ PreImplReport run_preimpl_flow(const Device& device, const ComponentGraph& graph
                            report.macro.offsets[i].second);
   }
   report.place_seconds = stage.seconds();
+  LOG_DEBUG("preimpl place: %s", report.macro.stats.summary().c_str());
   drc_gate(kDrcStructural | kDrcPlacement, report.drc_place, "preimpl after placement");
 
   // Inter-component routing: only the stitched nets are open; everything

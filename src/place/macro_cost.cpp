@@ -1,0 +1,215 @@
+#include "place/macro_cost.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fpgasim {
+namespace {
+
+/// Bounding box over the centers of the placed items of one net.
+struct NetBox {
+  int min_x = std::numeric_limits<int>::max();
+  int max_x = std::numeric_limits<int>::min();
+  int min_y = std::numeric_limits<int>::max();
+  int max_y = std::numeric_limits<int>::min();
+  int present = 0;
+
+  void add(const TileCoord& c) {
+    min_x = std::min(min_x, c.x);
+    max_x = std::max(max_x, c.x);
+    min_y = std::min(min_y, c.y);
+    max_y = std::max(max_y, c.y);
+    ++present;
+  }
+};
+
+NetBox net_box(const MacroNet& net, const std::vector<Pblock>& placed,
+               const std::vector<bool>& is_placed) {
+  NetBox box;
+  for (std::int32_t item : net.items) {
+    if (!is_placed[static_cast<std::size_t>(item)]) continue;
+    box.add(macro_center(placed[static_cast<std::size_t>(item)]));
+  }
+  return box;
+}
+
+}  // namespace
+
+MacroCostTotals full_macro_costs(const Device& device, const std::vector<MacroNet>& nets,
+                                 const std::vector<Pblock>& placed,
+                                 const std::vector<bool>& is_placed) {
+  MacroCostTotals totals;
+  // Eq. (1): HPWL between component centers, weighted per net. Summed
+  // into four stripes by net index (net n into stripe n % 4, absent nets
+  // adding exactly 0.0), reduced as (s0+s1)+(s2+s3) — the incremental
+  // kernel performs the identical sequence of additions, so the two paths
+  // agree bit for bit.
+  double stripes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const NetBox box = net_box(nets[n], placed, is_placed);
+    stripes[n & 3] +=
+        box.present >= 2
+            ? nets[n].weight * ((box.max_x - box.min_x) + (box.max_y - box.min_y))
+            : 0.0;
+  }
+  totals.timing = (stripes[0] + stripes[1]) + (stripes[2] + stripes[3]);
+  // Eq. (2)/(3): tiles covered by more than one net bounding box,
+  // normalized by the total covered area, on a coarse grid.
+  const int gw = (device.width() + kMacroCostGrid - 1) / kMacroCostGrid;
+  const int gh = (device.height() + kMacroCostGrid - 1) / kMacroCostGrid;
+  std::vector<int> cover(static_cast<std::size_t>(gw) * gh, 0);
+  int boxes = 0;
+  for (const MacroNet& net : nets) {
+    const NetBox box = net_box(net, placed, is_placed);
+    if (box.present < 2) continue;
+    ++boxes;
+    for (int gx = box.min_x / kMacroCostGrid; gx <= box.max_x / kMacroCostGrid; ++gx) {
+      for (int gy = box.min_y / kMacroCostGrid; gy <= box.max_y / kMacroCostGrid; ++gy) {
+        ++cover[static_cast<std::size_t>(gy) * gw + gx];
+      }
+    }
+  }
+  if (boxes == 0) return totals;
+  double overlaps = 0.0, covered = 0.0;
+  for (int c : cover) {
+    if (c > 0) covered += 1.0;
+    if (c > 1) overlaps += c - 1;
+  }
+  totals.congestion = covered > 0.0 ? overlaps / covered : 0.0;
+  return totals;
+}
+
+MacroCostModel::MacroCostModel(const Device& device, const std::vector<MacroNet>& nets,
+                               std::size_t item_count, bool incremental)
+    : device_(&device),
+      nets_(&nets),
+      incremental_(incremental),
+      placed_(item_count),
+      is_placed_(item_count, false),
+      incidence_(item_count),
+      present_(nets.size(), 0),
+      box_(nets.size()),
+      contribution_(nets.size(), 0.0),
+      gw_((device.width() + kMacroCostGrid - 1) / kMacroCostGrid),
+      gh_((device.height() + kMacroCostGrid - 1) / kMacroCostGrid),
+      cover_(static_cast<std::size_t>(gw_) * gh_, 0) {
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    for (std::int32_t item : nets[n].items) {
+      auto& list = incidence_[static_cast<std::size_t>(item)];
+      const auto net_index = static_cast<std::int32_t>(n);
+      if (std::find(list.begin(), list.end(), net_index) == list.end()) {
+        list.push_back(net_index);
+      }
+    }
+  }
+}
+
+void MacroCostModel::place(std::size_t item, const Pblock& at) {
+  placed_[item] = at;
+  is_placed_[item] = true;
+  if (!incremental_) return;
+  for (std::int32_t net : incidence_[item]) refresh_net(net);
+}
+
+void MacroCostModel::unplace(std::size_t item) {
+  is_placed_[item] = false;
+  if (!incremental_) return;
+  for (std::int32_t net : incidence_[item]) refresh_net(net);
+}
+
+void MacroCostModel::refresh_net(std::int32_t net) {
+  ++nets_touched_;
+  const std::size_t idx = static_cast<std::size_t>(net);
+  const MacroNet& macro_net = (*nets_)[idx];
+  const NetBox nb = net_box(macro_net, placed_, is_placed_);
+  present_[idx] = nb.present;
+  GridBox next;  // stays empty when the net has fewer than two placed items
+  if (nb.present >= 2) {
+    contribution_[idx] =
+        macro_net.weight * ((nb.max_x - nb.min_x) + (nb.max_y - nb.min_y));
+    next = GridBox{nb.min_x / kMacroCostGrid, nb.max_x / kMacroCostGrid,
+                   nb.min_y / kMacroCostGrid, nb.max_y / kMacroCostGrid};
+  } else {
+    contribution_[idx] = 0.0;
+  }
+  GridBox& prev = box_[idx];
+  if (prev == next) return;
+  // Candidate moves usually shift a box by a cell or two; touching only
+  // the symmetric difference keeps the grid update proportional to the
+  // change instead of the box area.
+  update_difference(prev, next, -1);
+  update_difference(next, prev, +1);
+  boxes_ += static_cast<int>(!next.empty()) - static_cast<int>(!prev.empty());
+  prev = next;
+}
+
+void MacroCostModel::update_rect(const GridBox& rect, int delta) {
+  for (int gy = rect.y0; gy <= rect.y1; ++gy) {
+    int* row = &cover_[static_cast<std::size_t>(gy) * gw_];
+    for (int gx = rect.x0; gx <= rect.x1; ++gx) {
+      int& cell = row[gx];
+      if (delta > 0) {
+        if (cell == 0) {
+          ++covered_;
+        } else {
+          ++overlap_units_;
+        }
+        ++cell;
+      } else {
+        --cell;
+        if (cell == 0) {
+          --covered_;
+        } else {
+          --overlap_units_;
+        }
+      }
+    }
+  }
+}
+
+void MacroCostModel::update_difference(const GridBox& a, const GridBox& b, int delta) {
+  if (a.empty()) return;
+  const int ix0 = std::max(a.x0, b.x0), ix1 = std::min(a.x1, b.x1);
+  const int iy0 = std::max(a.y0, b.y0), iy1 = std::min(a.y1, b.y1);
+  if (b.empty() || ix0 > ix1 || iy0 > iy1) {
+    update_rect(a, delta);
+    return;
+  }
+  // Rows of `a` below and above the intersection, then the left/right
+  // strips alongside it — four disjoint rectangles covering a \ b.
+  if (a.y0 < iy0) update_rect(GridBox{a.x0, a.x1, a.y0, iy0 - 1}, delta);
+  if (a.y1 > iy1) update_rect(GridBox{a.x0, a.x1, iy1 + 1, a.y1}, delta);
+  if (a.x0 < ix0) update_rect(GridBox{a.x0, ix0 - 1, iy0, iy1}, delta);
+  if (a.x1 > ix1) update_rect(GridBox{ix1 + 1, a.x1, iy0, iy1}, delta);
+}
+
+MacroCostTotals MacroCostModel::totals() {
+  ++cost_evals_;
+  if (!incremental_) {
+    nets_touched_ += static_cast<long>(nets_->size());
+    return full_macro_costs(*device_, *nets_, placed_, is_placed_);
+  }
+  MacroCostTotals totals;
+  // Same four-stripe summation as the full path: net n adds into stripe
+  // n % 4 in ascending net order (an exact 0.0 when fewer than two items
+  // are placed), reduced as (s0+s1)+(s2+s3) — bit-identical doubles, and
+  // the stripes break the FP latency chain of a flat sum.
+  double stripes[4] = {0.0, 0.0, 0.0, 0.0};
+  const double* c = contribution_.data();
+  const std::size_t size = contribution_.size();
+  std::size_t n = 0;
+  for (; n + 4 <= size; n += 4) {
+    stripes[0] += c[n];
+    stripes[1] += c[n + 1];
+    stripes[2] += c[n + 2];
+    stripes[3] += c[n + 3];
+  }
+  for (; n < size; ++n) stripes[n & 3] += c[n];
+  totals.timing = (stripes[0] + stripes[1]) + (stripes[2] + stripes[3]);
+  if (boxes_ > 0 && covered_ > 0) {
+    totals.congestion = static_cast<double>(overlap_units_) / static_cast<double>(covered_);
+  }
+  return totals;
+}
+
+}  // namespace fpgasim

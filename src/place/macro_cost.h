@@ -1,0 +1,103 @@
+// Cost models for the relocation placer (paper Sec. IV-B4, Eqs. (1)-(3)).
+//
+// Two evaluation paths with bit-identical results:
+//   - full_macro_costs(): recomputes timing (HPWL) and congestion (coarse
+//     tile-coverage overlap) over every net from scratch — the seed
+//     placer's evaluation path, kept as the A/B reference;
+//   - MacroCostModel: an incremental kernel that maintains an item->net
+//     incidence index, per-net cached bounding boxes and a persistent
+//     coarse coverage grid, so placing/unplacing an item touches only the
+//     nets incident to it (and only the grid cells its box actually
+//     gained or lost). totals() then sums cached per-net contributions and
+//     reads integer coverage counters, reproducing the full recompute bit
+//     for bit: integer bboxes/counters, and both paths perform the same
+//     striped sequence of double additions in ascending net index (absent
+//     nets contribute exactly 0.0).
+//
+// Precondition shared with the seed path: placed footprints lie on the
+// device (their centers index the coverage grid unclamped) and net
+// weights are non-negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/device.h"
+#include "place/macro_placer.h"
+
+namespace fpgasim {
+
+/// Coarse congestion-grid cell size in tiles (Eq. (2) discretization).
+inline constexpr int kMacroCostGrid = 8;
+
+inline TileCoord macro_center(const Pblock& block) {
+  return TileCoord{(block.x0 + block.x1) / 2, (block.y0 + block.y1) / 2};
+}
+
+struct MacroCostTotals {
+  double timing = 0.0;      // Eq. (1): weighted inter-component HPWL
+  double congestion = 0.0;  // Eq. (3): normalized coverage overlap
+};
+
+/// Full recompute over all nets and a freshly built coverage grid. Nets
+/// with fewer than two placed items contribute exactly 0.0 (no bbox
+/// sentinels leak into the cost).
+MacroCostTotals full_macro_costs(const Device& device, const std::vector<MacroNet>& nets,
+                                 const std::vector<Pblock>& placed,
+                                 const std::vector<bool>& is_placed);
+
+class MacroCostModel {
+ public:
+  /// `incremental == false` keeps the same place/unplace interface but
+  /// routes totals() through full_macro_costs (the A/B baseline).
+  MacroCostModel(const Device& device, const std::vector<MacroNet>& nets,
+                 std::size_t item_count, bool incremental);
+
+  /// Marks `item` placed at `at`, refreshing the incident nets' caches.
+  void place(std::size_t item, const Pblock& at);
+  /// Marks `item` unplaced, refreshing the incident nets' caches.
+  void unplace(std::size_t item);
+
+  /// Current costs of the placed subset; counts as one cost evaluation.
+  MacroCostTotals totals();
+
+  const std::vector<Pblock>& placed() const { return placed_; }
+  const std::vector<bool>& is_placed() const { return is_placed_; }
+  /// Net indices each item participates in (deduplicated, net order).
+  const std::vector<std::vector<std::int32_t>>& incidence() const { return incidence_; }
+
+  long cost_evals() const { return cost_evals_; }
+  long nets_touched() const { return nets_touched_; }
+
+ private:
+  /// Inclusive coverage-grid rectangle; empty when x0 > x1.
+  struct GridBox {
+    int x0 = 0, x1 = -1, y0 = 0, y1 = -1;
+    bool empty() const { return x0 > x1; }
+    friend bool operator==(const GridBox&, const GridBox&) = default;
+  };
+
+  void refresh_net(std::int32_t net);
+  void update_rect(const GridBox& rect, int delta);
+  /// Applies `delta` to the cells of `a` that are not in `b`.
+  void update_difference(const GridBox& a, const GridBox& b, int delta);
+
+  const Device* device_;
+  const std::vector<MacroNet>* nets_;
+  bool incremental_;
+  std::vector<Pblock> placed_;
+  std::vector<bool> is_placed_;
+  std::vector<std::vector<std::int32_t>> incidence_;
+  std::vector<int> present_;          // placed item occurrences per net
+  std::vector<GridBox> box_;          // covered grid cells per net
+  std::vector<double> contribution_;  // weight * HPWL (0.0 when present < 2)
+  int gw_ = 0, gh_ = 0;
+  std::vector<int> cover_;   // persistent coarse coverage grid
+  int boxes_ = 0;            // nets currently contributing a box
+  long covered_ = 0;         // grid cells with cover > 0
+  long overlap_units_ = 0;   // sum of (cover - 1) over cells with cover > 1
+  long cost_evals_ = 0;
+  long nets_touched_ = 0;
+};
+
+}  // namespace fpgasim

@@ -7,6 +7,15 @@
 // anchor is accepted when the combined timing (HPWL) and congestion
 // (tile-overlap) cost is below threshold, otherwise previously placed
 // components are unplaced and retried (bounded backtracking).
+//
+// The placer runs several independent starts (the three anchor-ranking
+// modes plus seed-perturbed BFS orders) concurrently on the work-stealing
+// ThreadPool; the winner is selected by a deterministic (success, cost,
+// start index) key, so results are byte-identical at any pool width.
+// Candidate anchors are evaluated with an incremental cost kernel
+// (place/macro_cost.h) and an O(1) tile-occupancy overlap test; the seed
+// full-recompute path stays available behind `incremental = false` and
+// produces bit-identical placements.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,8 @@
 #include "fabric/pblock.h"
 
 namespace fpgasim {
+
+class ThreadPool;
 
 struct MacroItem {
   std::string name;
@@ -35,7 +46,32 @@ struct MacroPlaceOptions {
   double congestion_weight = 24.0;
   double accept_threshold = 48.0;  // per-component cost gate (Sec. IV-B4)
   int max_candidates = 1600;       // anchors evaluated per component
-  int max_backtracks = 96;
+  int max_backtracks = 96;         // unplace-and-retry budget per start
+  /// Incremental cost kernel; false selects the seed full-recompute path
+  /// (A/B reference — placements and costs are bit-identical either way).
+  bool incremental = true;
+  /// Seed-perturbed BFS starts run in addition to the 3 ranking modes.
+  int perturbed_starts = 3;
+  /// Multi-start concurrency (the global pool when null). Any width
+  /// yields byte-identical results; width 1 runs the starts serially.
+  ThreadPool* pool = nullptr;
+};
+
+/// Placement observability: work counters aggregated over every start (in
+/// start order, so they are deterministic at any pool width).
+struct PlaceStats {
+  long cost_evals = 0;     // candidate cost evaluations (kernel totals())
+  long nets_touched = 0;   // per-net cost-cache refreshes / full-path scans
+  long overlap_tests = 0;  // occupancy-grid rectangle probes
+  int starts = 0;          // multi-start attempts
+  int winner_start = -1;   // winning start index (-1: packing fallback)
+  bool used_fallback = false;  // first-fit-decreasing produced the result
+  std::vector<int> backtracks_per_start;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+
+  /// One-line rendering for the flow logs.
+  std::string summary() const;
 };
 
 struct MacroPlaceResult {
@@ -44,7 +80,8 @@ struct MacroPlaceResult {
   std::vector<Pblock> placed;                // translated footprints
   double timing_cost = 0.0;      // Eq. (1): sum of inter-component HPWL
   double congestion_cost = 0.0;  // Eq. (3): normalized overlap coefficient
-  int backtracks = 0;
+  int backtracks = 0;            // backtracks of the winning start
+  PlaceStats stats;
   std::string error;
 };
 

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "cnn/impl.h"
+#include "cnn/model.h"
+#include "flow/build.h"
 #include "flow/checkpoint_db.h"
 #include "synth/builder.h"
 
@@ -76,6 +81,54 @@ TEST(CheckpointDb, SaveAndLoadDirectory) {
 TEST(CheckpointDb, LoadFromMissingDirectoryIsEmpty) {
   CheckpointDb db;
   EXPECT_EQ(db.load_dir("/nonexistent/db/dir"), 0u);
+}
+
+std::string file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CheckpointDb, BranchingDfgDatabaseRoundTripsByteIdentical) {
+  // Build the component database for a branching model (residual blocks
+  // introduce stream-fork checkpoints alongside the group components),
+  // round-trip it through save_dir/load_dir, and require the re-saved
+  // files to match the originals byte for byte.
+  const Device device = make_xcku5p_sim();
+  const CnnModel model = make_resblock_net();
+  const ModelImpl impl = choose_implementation(model, 200);
+  const auto groups = default_grouping(model);
+  CheckpointDb db;
+  prepare_component_db(device, model, impl, groups, db);
+  ASSERT_GT(db.size(), groups.size()) << "expected fork checkpoints beyond the groups";
+  ASSERT_TRUE(db.contains(fork_signature(2)));
+
+  const std::string dir = testing::TempDir() + "/fdcp_resblock";
+  const std::string dir2 = testing::TempDir() + "/fdcp_resblock_resaved";
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir2);
+  db.save_dir(dir);
+
+  CheckpointDb restored;
+  EXPECT_EQ(restored.load_dir(dir), db.size());
+  EXPECT_EQ(restored.keys(), db.keys());
+  for (const std::string& key : db.keys()) {
+    ASSERT_NE(restored.get(key), nullptr) << key;
+    EXPECT_EQ(restored.get(key)->netlist.name(), db.get(key)->netlist.name());
+    EXPECT_EQ(restored.get(key)->pblock, db.get(key)->pblock);
+  }
+
+  restored.save_dir(dir2);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto resaved = std::filesystem::path(dir2) / entry.path().filename();
+    ASSERT_TRUE(std::filesystem::exists(resaved)) << resaved;
+    EXPECT_EQ(file_bytes(entry.path()), file_bytes(resaved))
+        << entry.path().filename() << " changed across a load/save round trip";
+    ++files;
+  }
+  EXPECT_EQ(files, db.size());
 }
 
 TEST(CheckpointDb, SanitizesKeysForFilenames) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "place/macro_cost.h"
 #include "place/macro_placer.h"
+#include "util/rng.h"
 
 namespace fpgasim {
 namespace {
@@ -112,6 +114,95 @@ TEST(MacroPlacer, PacksManyComponentsOnTinyDevice) {
       EXPECT_FALSE(result.placed[i].overlaps(result.placed[j]));
     }
   }
+}
+
+TEST(MacroCost, IncrementalMatchesFullOnRandomizedPlacements) {
+  // Drive the incremental kernel through a random walk of place / move /
+  // unplace operations; after every mutation its totals must equal the
+  // full recompute on the same state.
+  const Device device = make_xcku5p_sim();
+  const std::size_t n = 10;
+  std::vector<MacroItem> items;
+  std::vector<std::vector<std::pair<int, int>>> anchors;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = 6 + 2 * static_cast<int>(i % 5);
+    const int h = 12 + 4 * static_cast<int>(i % 4);
+    items.push_back(MacroItem{"r" + std::to_string(i), Pblock{0, 0, w - 1, h - 1}});
+    anchors.push_back(relocation_offsets(device, items.back().footprint));
+    ASSERT_FALSE(anchors.back().empty());
+  }
+  std::vector<MacroNet> nets = make_chain_nets(static_cast<int>(n));
+  Rng rng(99);
+  for (int e = 0; e < 12; ++e) {
+    const auto a = static_cast<int>(rng.next_below(n));
+    const auto b = static_cast<int>(rng.next_below(n));
+    if (a != b) nets.push_back(MacroNet{{a, b}, 1.0});
+  }
+  nets.push_back(MacroNet{{0, 4, 8}, 2.0});  // a weighted fan-out net
+
+  MacroCostModel kernel(device, nets, n, /*incremental=*/true);
+  for (int step = 0; step < 400; ++step) {
+    const auto i = static_cast<std::size_t>(rng.next_below(n));
+    if (kernel.is_placed()[i] && rng.next_below(3) == 0) {
+      kernel.unplace(i);
+    } else {
+      const auto& cand = anchors[i];
+      const auto& offset = cand[rng.next_below(cand.size())];
+      kernel.place(i, items[i].footprint.translated(offset.first, offset.second));
+    }
+    const MacroCostTotals inc = kernel.totals();
+    const MacroCostTotals full =
+        full_macro_costs(device, nets, kernel.placed(), kernel.is_placed());
+    // Bit-identical by construction, which trivially satisfies 1e-9.
+    EXPECT_EQ(inc.timing, full.timing) << "step " << step;
+    EXPECT_EQ(inc.congestion, full.congestion) << "step " << step;
+  }
+  EXPECT_GT(kernel.cost_evals(), 0);
+  EXPECT_GT(kernel.nets_touched(), 0);
+}
+
+TEST(MacroPlacer, BacktrackingUnplacesAndRetries) {
+  // An acceptance threshold below any achievable per-component gate: every
+  // start must exhaust the unplace-and-retry path, then relax the
+  // threshold (x1.5 steps) until the placement is admitted. Success with
+  // nonzero backtrack telemetry proves the retry path ran.
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 4, 10, 20);
+  const auto nets = make_chain_nets(4);
+  MacroPlaceOptions opt;
+  opt.accept_threshold = 1.0;  // two adjacent centers are always further apart
+  const MacroPlaceResult result = place_macros(device, items, nets, opt);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_GT(result.backtracks, 0) << "winner start should have backtracked";
+  long total_backtracks = 0;
+  for (const int b : result.stats.backtracks_per_start) total_backtracks += b;
+  EXPECT_GT(total_backtracks, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      EXPECT_FALSE(result.placed[i].overlaps(result.placed[j]));
+    }
+  }
+}
+
+TEST(MacroPlacer, ReportsPlacementStats) {
+  const Device device = make_xcku5p_sim();
+  const auto items = make_chain_items(device, 5, 10, 20);
+  const auto nets = make_chain_nets(5);
+  MacroPlaceOptions opt;
+  const MacroPlaceResult result = place_macros(device, items, nets, opt);
+  ASSERT_TRUE(result.success);
+  const PlaceStats& stats = result.stats;
+  EXPECT_EQ(stats.starts, 3 + opt.perturbed_starts);
+  EXPECT_EQ(static_cast<int>(stats.backtracks_per_start.size()), stats.starts);
+  EXPECT_GE(stats.winner_start, 0);
+  EXPECT_LT(stats.winner_start, stats.starts);
+  EXPECT_FALSE(stats.used_fallback);
+  EXPECT_GT(stats.cost_evals, 0);
+  EXPECT_GT(stats.nets_touched, 0);
+  EXPECT_GT(stats.overlap_tests, 0);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.cpu_seconds, 0.0);
+  EXPECT_NE(stats.summary().find("starts"), std::string::npos);
 }
 
 TEST(MacroPlacer, DeterministicForSeed) {

@@ -251,18 +251,18 @@ int main(int argc, char** argv) {
     const RouteSample congested1 = route_snapshot(device, congested, 1, true, repeats);
     const RouteSample congested4 = route_snapshot(device, congested, 4, true, repeats);
     const RouteSample congested_full = route_snapshot(device, congested, 1, false, repeats);
-    auto row = [&](const char* config, const RouteSample& sample) {
+    auto route_row = [&](const char* config, const RouteSample& sample) {
       routes.add_row({name, config, Table::fmt(sample.best_wall, 4),
                       Table::fmt(sample.cpu, 4), std::to_string(sample.result.iterations),
                       std::to_string(sample.result.nets_routed),
                       rerouted_digest(sample.result)});
     };
-    row("serial incremental", serial);
-    row("4-thread incremental", wide);
-    row("serial full rip-up", full);
-    row("congested (+traffic) serial", congested1);
-    row("congested (+traffic) 4-thread", congested4);
-    row("congested (+traffic) full rip-up", congested_full);
+    route_row("serial incremental", serial);
+    route_row("4-thread incremental", wide);
+    route_row("serial full rip-up", full);
+    route_row("congested (+traffic) serial", congested1);
+    route_row("congested (+traffic) 4-thread", congested4);
+    route_row("congested (+traffic) full rip-up", congested_full);
     std::printf("%s: 4-thread route speedup %.2fx wall (congested %.2fx); "
                 "incremental vs full rip-up %.2fx (congested %.2fx)\n",
                 name.c_str(), serial.best_wall / std::max(1e-9, wide.best_wall),

@@ -130,56 +130,6 @@ void enforce_drc(const DrcReport& report, const std::string& where) {
 
 namespace drc_detail {
 
-std::uint16_t expected_output_width(const Cell& cell) {
-  if (cell.type == CellType::kLut && (cell.op == LutOp::kEq || cell.op == LutOp::kLtU)) {
-    return 1;
-  }
-  return cell.width;
-}
-
-bool is_combinational(const Cell& cell) {
-  switch (cell.type) {
-    case CellType::kLut:
-    case CellType::kAdd:
-    case CellType::kMax:
-    case CellType::kRelu:
-      return true;
-    case CellType::kDsp:
-      return cell.stages == 0;  // unpipelined DSP48 is a combinational MAC
-    case CellType::kConst:
-    case CellType::kFf:
-    case CellType::kSrl:
-    case CellType::kBram:
-      return false;
-  }
-  return false;
-}
-
-std::vector<std::uint16_t> required_input_pins(const Cell& cell) {
-  switch (cell.type) {
-    case CellType::kConst:
-      return {};
-    case CellType::kLut:
-      // kNot/kPass are unary; everything else consumes two operands
-      // (kMux2's select, pin 2, is also mandatory).
-      if (cell.op == LutOp::kNot || cell.op == LutOp::kPass) return {0};
-      if (cell.op == LutOp::kMux2) return {0, 1, 2};
-      return {0, 1};
-    case CellType::kAdd:
-    case CellType::kMax:
-      return {0, 1};
-    case CellType::kDsp:
-      return {0, 1};  // C addend is optional
-    case CellType::kFf:
-    case CellType::kSrl:
-    case CellType::kRelu:
-      return {0};  // clock enable (pin 1) is optional
-    case CellType::kBram:
-      return {0};  // write port / read address are optional (ROM mode)
-  }
-  return {};
-}
-
 int instance_of_cell(const std::vector<DrcInstance>& instances, CellId cell) {
   for (std::size_t i = 0; i < instances.size(); ++i) {
     if (cell >= instances[i].cell_begin && cell < instances[i].cell_end) {

@@ -148,16 +148,9 @@ void enforce_drc(const DrcReport& report, const std::string& where);
 // -- shared helpers used by the rule implementations ------------------------
 namespace drc_detail {
 
-/// Expected width of `cell`'s output pin (kEq/kLtU LUTs are 1-bit flags,
-/// everything else drives a cell.width-wide bus).
-std::uint16_t expected_output_width(const Cell& cell);
-
-/// True when the cell computes combinationally from its inputs (its output
-/// can participate in a combinational loop).
-bool is_combinational(const Cell& cell);
-
-/// Input pins that must be connected for the cell to be well-formed.
-std::vector<std::uint16_t> required_input_pins(const Cell& cell);
+// Cell-semantics helpers (expected_output_width, is_combinational,
+// required_input_pins) moved to netlist/netlist.h so lint and DRC share
+// one definition; unqualified uses below resolve through fpgasim::.
 
 /// Instance index owning `cell`, or -1 (binary search over the ranges).
 int instance_of_cell(const std::vector<DrcInstance>& instances, CellId cell);

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "drc/drc.h"
+#include "lint/lint.h"
 
 namespace fpgasim {
 
@@ -49,15 +50,19 @@ void CheckpointDb::save_dir(const std::string& dir) const {
   }
 }
 
-std::size_t CheckpointDb::load_dir(const std::string& dir) {
+std::size_t CheckpointDb::load_dir(const std::string& dir, bool lint) {
   std::size_t loaded = 0;
   if (!std::filesystem::is_directory(dir)) return 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.path().extension() != ".fdcp") continue;
     Checkpoint checkpoint = load_checkpoint(entry.path().string());
     // A checkpoint only enters the component database if it passes DRC
-    // (no device context here: device-dependent rules run at use time).
+    // (no device context here: device-dependent rules run at use time),
+    // and — opt-in — the fpgalint dataflow gate.
     enforce_drc(run_checkpoint_drc(checkpoint), "load " + entry.path().string());
+    if (lint) {
+      lint::enforce(lint::run(checkpoint.netlist), "load " + entry.path().string());
+    }
     entries_[entry.path().stem().string()] = std::move(checkpoint);
     ++loaded;
   }

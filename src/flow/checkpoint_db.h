@@ -31,8 +31,12 @@ class CheckpointDb {
 
   /// Persists every entry as <dir>/<key>.fdcp (key sanitized).
   void save_dir(const std::string& dir) const;
-  /// Loads every *.fdcp in `dir`; returns the number loaded.
-  std::size_t load_dir(const std::string& dir);
+  /// Loads every *.fdcp in `dir`; returns the number loaded. Every
+  /// checkpoint is DRC-gated; with `lint` true it must additionally come
+  /// back clean from the fpgalint dataflow analyzer (throws on error
+  /// findings) — the defense against a silently-defective checkpoint
+  /// replicating into every composed network.
+  std::size_t load_dir(const std::string& dir, bool lint = false);
 
  private:
   std::map<std::string, Checkpoint> entries_;

@@ -185,6 +185,15 @@ MonoReport run_monolithic_flow(const Device& device, Netlist& netlist, PhysState
   drc_gate(kDrcStructural | kDrcPlacement | kDrcRouting, report.drc,
            "monolithic after routing");
 
+  if (opt.lint) {
+    stage.restart();
+    report.lint = lint::run(netlist, opt.lint_options);
+    report.lint_seconds = stage.seconds();
+    LOG_DEBUG("monolithic lint: %s (%.3fs wall, %.3fs cpu)", report.lint.summary().c_str(),
+              report.lint.wall_seconds, report.lint.cpu_seconds);
+    lint::enforce(report.lint, "monolithic after routing");
+  }
+
   report.stats = netlist.stats();
   report.total_seconds = total.seconds();
   report.total_cpu_seconds = total_cpu.seconds();

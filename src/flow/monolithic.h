@@ -9,6 +9,7 @@
 
 #include "drc/drc.h"
 #include "fabric/device.h"
+#include "lint/lint.h"
 #include "netlist/netlist.h"
 #include "netlist/phys.h"
 #include "route/router.h"
@@ -25,6 +26,9 @@ struct MonoOptions {
   RouteOptions route;
   bool drc = true;         // run the DRC gate after placement and routing
   DrcOptions drc_options;  // waivers forwarded to every gate
+  /// Opt-in fpgalint gate over the final (post-phys-opt) netlist.
+  bool lint = false;
+  lint::LintOptions lint_options;
 };
 
 struct MonoReport {
@@ -46,6 +50,10 @@ struct MonoReport {
   double drc_seconds = 0.0;
   DrcReport drc_place;  // structural + placement, after SA placement
   DrcReport drc;        // full check, after routing + phys_opt
+
+  // fpgalint gate result (empty when MonoOptions::lint is false).
+  double lint_seconds = 0.0;
+  lint::LintReport lint;
 };
 
 /// Runs the baseline flow in place: `netlist` gains phys-opt cells and

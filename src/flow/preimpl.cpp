@@ -88,6 +88,23 @@ PreImplReport run_preimpl_flow(const Device& device, const ComponentGraph& graph
             report.route.iterations, report.route.iteration_summary().c_str());
   drc_gate(kDrcStructural | kDrcPlacement | kDrcRouting, report.drc, "preimpl after routing");
 
+  if (opt.lint) {
+    // fpgalint gate: dataflow analysis over the final composed netlist,
+    // stitch-boundary aware through the instance ranges.
+    stage.restart();
+    lint::LintOptions lint_opt = opt.lint_options;
+    lint_opt.instances.clear();
+    for (const ComposedDesign::Instance& inst : out.instances) {
+      lint_opt.instances.push_back(
+          {inst.name, inst.cell_offset, inst.cell_end, inst.net_offset, inst.net_end});
+    }
+    report.lint = lint::run(out.netlist, lint_opt);
+    report.lint_seconds = stage.seconds();
+    LOG_DEBUG("preimpl lint: %s (%.3fs wall, %.3fs cpu)", report.lint.summary().c_str(),
+              report.lint.wall_seconds, report.lint.cpu_seconds);
+    lint::enforce(report.lint, "preimpl after routing");
+  }
+
   stage.restart();
   report.timing = run_sta(out.netlist, out.phys, device);
   report.sta_seconds = stage.seconds();

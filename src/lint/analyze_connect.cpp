@@ -1,0 +1,156 @@
+// Connectivity hygiene: driver/fanout conflicts, floating required inputs
+// and bus-width agreement at cell ports — and, when the caller passes the
+// composed design's instance ranges, width agreement across the stitch
+// boundaries between pre-implemented components (where a silent mismatch
+// would corrupt every network built from the database).
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fpgasim {
+namespace lint {
+namespace detail {
+namespace {
+
+/// Instance index owning `cell`, or -1. Instances come from merge() and are
+/// contiguous, so a linear scan over a handful of components is fine.
+int instance_of(const std::vector<Instance>& instances, CellId cell) {
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (cell >= instances[i].cell_begin && cell < instances[i].cell_end) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void analyze_connectivity(const Netlist& nl, const LintOptions& opt, Emitter& out) {
+  std::vector<bool> is_input_port(nl.net_count(), false);
+  for (const Port& port : nl.ports()) {
+    if (port.dir == PortDir::kInput && port.net < nl.net_count()) {
+      is_input_port[port.net] = true;
+    }
+  }
+
+  // -- lint-multi-driver ----------------------------------------------------
+  out.rule("lint-multi-driver");
+  std::vector<int> driver_refs(nl.net_count(), 0);
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    for (NetId o : nl.cell(c).outputs) {
+      if (o != kInvalidNet && o < nl.net_count()) ++driver_refs[o];
+    }
+  }
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (driver_refs[n] > 1) {
+      out.emit(net_ref(nl, n) + " is driven by " + std::to_string(driver_refs[n]) +
+                   " cell output pins",
+               kInvalidCell, n);
+    } else if (driver_refs[n] == 1 && is_input_port[n]) {
+      out.emit(net_ref(nl, n) + " is driven by both a cell output and an input port",
+               kInvalidCell, n);
+    }
+  }
+
+  // -- lint-floating-input --------------------------------------------------
+  out.rule("lint-floating-input");
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cell = nl.cell(c);
+    for (const std::uint16_t pin : required_input_pins(cell)) {
+      if (pin >= cell.inputs.size() || cell.inputs[pin] == kInvalidNet) {
+        out.emit(cell_ref(nl, c) + " required input pin " + std::to_string(pin) +
+                     " is unconnected",
+                 c, kInvalidNet);
+        continue;
+      }
+      const NetId in = cell.inputs[pin];
+      if (in >= nl.net_count()) {
+        out.emit(cell_ref(nl, c) + " required input pin " + std::to_string(pin) +
+                     " references an out-of-range net",
+                 c, kInvalidNet);
+        continue;
+      }
+      if (nl.net(in).driver == kInvalidCell && !is_input_port[in]) {
+        out.emit(cell_ref(nl, c) + " required input pin " + std::to_string(pin) +
+                     " floats: " + net_ref(nl, in) + " has no driver and is not an input port",
+                 c, in);
+      }
+    }
+  }
+
+  // -- lint-width-mismatch --------------------------------------------------
+  out.rule("lint-width-mismatch");
+  for (const Port& port : nl.ports()) {
+    if (port.net >= nl.net_count()) {
+      out.emit("port '" + port.name + "' is bound to an out-of-range net");
+      continue;
+    }
+    if (nl.net(port.net).width != port.width) {
+      out.emit("port '" + port.name + "' is " + std::to_string(port.width) +
+                   " bits but its net is " + std::to_string(nl.net(port.net).width),
+               kInvalidCell, port.net);
+    }
+  }
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kInvalidCell || net.driver >= nl.cell_count()) continue;
+    const std::uint16_t expect = expected_output_width(nl.cell(net.driver));
+    if (net.width != expect) {
+      out.emit(net_ref(nl, n) + " is " + std::to_string(net.width) + " bits but its driver " +
+                   cell_ref(nl, net.driver) + " produces " + std::to_string(expect),
+               net.driver, n);
+    }
+  }
+  // Data operand pins must not silently truncate a wider net (narrower is
+  // fine: the fabric zero-extends, which synthesized address arithmetic
+  // relies on). At a stitch boundary between two composed components even
+  // a legal-inside-a-component width change is reported: the stream buses
+  // of matched components must agree exactly.
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    const Cell& cell = nl.cell(c);
+    std::vector<std::uint16_t> data_pins;
+    switch (cell.type) {
+      case CellType::kFf:
+      case CellType::kSrl:
+      case CellType::kRelu:
+        data_pins = {0};
+        break;
+      case CellType::kAdd:
+      case CellType::kMax:
+        data_pins = {0, 1};
+        break;
+      default:
+        continue;
+    }
+    for (const std::uint16_t pin : data_pins) {
+      if (pin >= cell.inputs.size()) continue;
+      const NetId in = cell.inputs[pin];
+      if (in == kInvalidNet || in >= nl.net_count()) continue;
+      const Net& net = nl.net(in);
+      if (net.width > cell.width) {
+        out.emit(cell_ref(nl, c) + " data pin " + std::to_string(pin) + " is " +
+                     std::to_string(cell.width) + " bits but " + net_ref(nl, in) + " is " +
+                     std::to_string(net.width) + " (truncation)",
+                 c, in);
+        continue;
+      }
+      if (net.width == cell.width || opt.instances.empty()) continue;
+      if (net.driver == kInvalidCell || net.driver >= nl.cell_count()) continue;
+      const int from = instance_of(opt.instances, net.driver);
+      const int to = instance_of(opt.instances, c);
+      if (from >= 0 && to >= 0 && from != to) {
+        out.emit("stitch boundary '" + opt.instances[static_cast<std::size_t>(from)].name +
+                     "' -> '" + opt.instances[static_cast<std::size_t>(to)].name + "': " +
+                     net_ref(nl, in) + " is " + std::to_string(net.width) + " bits but " +
+                     cell_ref(nl, c) + " data pin " + std::to_string(pin) + " expects " +
+                     std::to_string(cell.width),
+                 c, in);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace lint
+}  // namespace fpgasim

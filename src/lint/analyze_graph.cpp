@@ -1,0 +1,181 @@
+// Graph-shaped analyses: combinational-loop detection (Tarjan SCC over the
+// comb-edge graph — registers break edges) and dead-logic detection
+// (backward reachability from the primary outputs).
+//
+// Both are defensive about malformed netlists (out-of-range ids, dangling
+// references): lint is run over fuzzed checkpoints and must never crash.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fpgasim {
+namespace lint {
+namespace detail {
+namespace {
+
+/// Combinational successor cells of `c` (through any of its output nets).
+void comb_successors(const Netlist& nl, CellId c, std::vector<CellId>& succ) {
+  succ.clear();
+  for (NetId out : nl.cell(c).outputs) {
+    if (out == kInvalidNet || out >= nl.net_count()) continue;
+    for (const auto& [sink, pin] : nl.net(out).sinks) {
+      (void)pin;
+      if (sink < nl.cell_count() && is_combinational(nl.cell(sink))) succ.push_back(sink);
+    }
+  }
+}
+
+}  // namespace
+
+// -- lint-comb-loop ---------------------------------------------------------
+//
+// Iterative Tarjan over the cell graph restricted to combinational cells.
+// Every non-trivial SCC (size > 1, or a self-loop) is one finding whose
+// message spells the cycle as a named cell path. Deterministic: roots are
+// visited in ascending cell id, successor order follows net sink order.
+void analyze_loops(const Netlist& nl, const LintOptions& opt, Emitter& out) {
+  (void)opt;
+  out.rule("lint-comb-loop");
+  const std::size_t n = nl.cell_count();
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<CellId> stack;                    // Tarjan SCC stack
+  std::vector<std::vector<CellId>> succ(n);     // cached per visited cell
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    CellId cell;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> dfs;
+
+  for (CellId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited || !is_combinational(nl.cell(root))) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    comb_successors(nl, root, succ[root]);
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const CellId c = frame.cell;
+      if (frame.next_succ < succ[c].size()) {
+        const CellId s = succ[c][frame.next_succ++];
+        if (index[s] == kUnvisited) {
+          dfs.push_back({s, 0});
+          index[s] = lowlink[s] = next_index++;
+          stack.push_back(s);
+          on_stack[s] = true;
+          comb_successors(nl, s, succ[s]);
+        } else if (on_stack[s]) {
+          lowlink[c] = std::min(lowlink[c], index[s]);
+        }
+        continue;
+      }
+      // Frame exhausted: maybe an SCC root.
+      if (lowlink[c] == index[c]) {
+        std::vector<CellId> scc;
+        for (;;) {
+          const CellId m = stack.back();
+          stack.pop_back();
+          on_stack[m] = false;
+          scc.push_back(m);
+          if (m == c) break;
+        }
+        bool self_loop = false;
+        if (scc.size() == 1) {
+          self_loop = std::find(succ[c].begin(), succ[c].end(), c) != succ[c].end();
+        }
+        if (scc.size() > 1 || self_loop) {
+          // Tarjan pops the SCC in reverse DFS order; reverse it so the
+          // path reads source -> ... -> sink -> source.
+          std::reverse(scc.begin(), scc.end());
+          std::string path;
+          for (const CellId m : scc) {
+            if (!path.empty()) path += " -> ";
+            path += cell_ref(nl, m);
+          }
+          path += " -> " + cell_ref(nl, scc.front());
+          out.emit("combinational loop of " + std::to_string(scc.size()) + " cell" +
+                       (scc.size() == 1 ? "" : "s") + ": " + path,
+                   scc.front(), kInvalidNet);
+        }
+      }
+      succ[c].clear();
+      succ[c].shrink_to_fit();
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().cell] = std::min(lowlink[dfs.back().cell], lowlink[c]);
+      }
+    }
+  }
+}
+
+// -- lint-dead-cell / lint-unread-net ---------------------------------------
+//
+// Backward reachability from the primary outputs: a net is live when an
+// output port exposes it or a live cell reads it; a cell is live when it
+// drives a live net. Register state is traversed like any other cell —
+// liveness flows from outputs through FF/SRL/BRAM/DSP state into the logic
+// that feeds it (including BRAM write and enable pins). Anything left over
+// is a dead cone the composed design can never observe.
+void analyze_dead_logic(const Netlist& nl, const LintOptions& opt, Emitter& out) {
+  (void)opt;
+  std::vector<bool> net_live(nl.net_count(), false);
+  std::vector<bool> cell_live(nl.cell_count(), false);
+  std::vector<NetId> worklist;
+  for (const Port& port : nl.ports()) {
+    if (port.dir == PortDir::kOutput && port.net < nl.net_count() && !net_live[port.net]) {
+      net_live[port.net] = true;
+      worklist.push_back(port.net);
+    }
+  }
+  while (!worklist.empty()) {
+    const NetId n = worklist.back();
+    worklist.pop_back();
+    const Net& net = nl.net(n);
+    if (net.driver == kInvalidCell || net.driver >= nl.cell_count()) continue;
+    if (cell_live[net.driver]) continue;
+    cell_live[net.driver] = true;
+    for (NetId in : nl.cell(net.driver).inputs) {
+      if (in != kInvalidNet && in < nl.net_count() && !net_live[in]) {
+        net_live[in] = true;
+        worklist.push_back(in);
+      }
+    }
+  }
+
+  // Input-port nets with no live reader are reported as unread, not dead.
+  std::vector<bool> port_bound(nl.net_count(), false);
+  for (const Port& port : nl.ports()) {
+    if (port.net < nl.net_count()) port_bound[port.net] = true;
+  }
+
+  out.rule("lint-dead-cell");
+  for (CellId c = 0; c < nl.cell_count(); ++c) {
+    if (!cell_live[c]) {
+      out.emit(cell_ref(nl, c) + " is unreachable backward from every primary output",
+               c, kInvalidNet);
+    }
+  }
+
+  out.rule("lint-unread-net");
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(n);
+    // A driven net nobody reads: no sinks and no output port exposing it.
+    // (Nets with sinks that are merely dead are covered by lint-dead-cell
+    // on their cone; driverless orphans are the DRC's net-dead.)
+    if (net.driver != kInvalidCell && net.sinks.empty() && !port_bound[n]) {
+      out.emit(net_ref(nl, n) + " is driven but read by no sink or port",
+               net.driver < nl.cell_count() ? net.driver : kInvalidCell, n);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace lint
+}  // namespace fpgasim

@@ -34,6 +34,56 @@ const char* to_string(LutOp op) {
   return "?";
 }
 
+std::uint16_t expected_output_width(const Cell& cell) {
+  if (cell.type == CellType::kLut && (cell.op == LutOp::kEq || cell.op == LutOp::kLtU)) {
+    return 1;
+  }
+  return cell.width;
+}
+
+bool is_combinational(const Cell& cell) {
+  switch (cell.type) {
+    case CellType::kLut:
+    case CellType::kAdd:
+    case CellType::kMax:
+    case CellType::kRelu:
+      return true;
+    case CellType::kDsp:
+      return cell.stages == 0;  // unpipelined DSP48 is a combinational MAC
+    case CellType::kConst:
+    case CellType::kFf:
+    case CellType::kSrl:
+    case CellType::kBram:
+      return false;
+  }
+  return false;
+}
+
+std::vector<std::uint16_t> required_input_pins(const Cell& cell) {
+  switch (cell.type) {
+    case CellType::kConst:
+      return {};
+    case CellType::kLut:
+      // kNot/kPass are unary; everything else consumes two operands
+      // (kMux2's select, pin 2, is also mandatory).
+      if (cell.op == LutOp::kNot || cell.op == LutOp::kPass) return {0};
+      if (cell.op == LutOp::kMux2) return {0, 1, 2};
+      return {0, 1};
+    case CellType::kAdd:
+    case CellType::kMax:
+      return {0, 1};
+    case CellType::kDsp:
+      return {0, 1};  // C addend is optional
+    case CellType::kFf:
+    case CellType::kSrl:
+    case CellType::kRelu:
+      return {0};  // clock enable (pin 1) is optional
+    case CellType::kBram:
+      return {0};  // write port / read address are optional (ROM mode)
+  }
+  return {};
+}
+
 NetId Netlist::add_net(std::uint16_t width, std::string name) {
   Net net;
   net.width = width;
@@ -175,6 +225,97 @@ std::vector<std::string> Netlist::validate() const {
     }
   }
   return problems;
+}
+
+std::size_t Netlist::prune_dead() {
+  // Backward reachability from output-port nets: a cell is live when it
+  // drives a live net; every input of a live cell is live.
+  std::vector<bool> net_live(nets_.size(), false);
+  std::vector<bool> cell_live(cells_.size(), false);
+  std::vector<NetId> worklist;
+  for (const Port& port : ports_) {
+    if (port.dir == PortDir::kOutput && port.net != kInvalidNet &&
+        port.net < nets_.size() && !net_live[port.net]) {
+      net_live[port.net] = true;
+      worklist.push_back(port.net);
+    }
+  }
+  while (!worklist.empty()) {
+    const NetId n = worklist.back();
+    worklist.pop_back();
+    const CellId driver = nets_[n].driver;
+    if (driver == kInvalidCell || driver >= cells_.size() || cell_live[driver]) continue;
+    cell_live[driver] = true;
+    for (const NetId in : cells_[driver].inputs) {
+      if (in != kInvalidNet && in < nets_.size() && !net_live[in]) {
+        net_live[in] = true;
+        worklist.push_back(in);
+      }
+    }
+  }
+  // A live cell's outputs stay even when unread (the cell exists, so its
+  // output nets must); input-port nets stay because they are interface.
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (!cell_live[c]) continue;
+    for (const NetId out : cells_[c].outputs) {
+      if (out != kInvalidNet && out < nets_.size()) net_live[out] = true;
+    }
+  }
+  for (const Port& port : ports_) {
+    if (port.net != kInvalidNet && port.net < nets_.size()) net_live[port.net] = true;
+  }
+
+  // Stable compaction maps (old id -> new id).
+  std::vector<CellId> cell_map(cells_.size(), kInvalidCell);
+  std::vector<NetId> net_map(nets_.size(), kInvalidNet);
+  CellId next_cell = 0;
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cell_live[c]) cell_map[c] = next_cell++;
+  }
+  NetId next_net = 0;
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    if (net_live[n]) net_map[n] = next_net++;
+  }
+  const std::size_t removed = cells_.size() - next_cell;
+  if (removed == 0 && next_net == nets_.size()) return 0;
+
+  std::vector<Cell> cells;
+  cells.reserve(next_cell);
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (!cell_live[c]) continue;
+    Cell cell = std::move(cells_[c]);
+    for (NetId& in : cell.inputs) {
+      if (in != kInvalidNet && in < net_map.size()) in = net_map[in];
+    }
+    for (NetId& out : cell.outputs) {
+      if (out != kInvalidNet && out < net_map.size()) out = net_map[out];
+    }
+    cells.push_back(std::move(cell));
+  }
+  std::vector<Net> nets;
+  nets.reserve(next_net);
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    if (!net_live[n]) continue;
+    Net net = std::move(nets_[n]);
+    if (net.driver != kInvalidCell && net.driver < cell_map.size()) {
+      net.driver = cell_map[net.driver];  // dead driver -> kInvalidCell
+    }
+    std::vector<std::pair<CellId, std::uint16_t>> sinks;
+    sinks.reserve(net.sinks.size());
+    for (const auto& [cell, pin] : net.sinks) {
+      if (cell < cell_map.size() && cell_map[cell] != kInvalidCell) {
+        sinks.emplace_back(cell_map[cell], pin);
+      }
+    }
+    net.sinks = std::move(sinks);
+    nets.push_back(std::move(net));
+  }
+  cells_ = std::move(cells);
+  nets_ = std::move(nets);
+  for (Port& port : ports_) {
+    if (port.net != kInvalidNet && port.net < net_map.size()) port.net = net_map[port.net];
+  }
+  return removed;
 }
 
 std::pair<CellId, NetId> Netlist::merge(const Netlist& other) {

@@ -88,6 +88,17 @@ struct Port {
   NetId net = kInvalidNet;
 };
 
+/// Expected width of `cell`'s output pin (kEq/kLtU LUTs are 1-bit flags,
+/// everything else drives a cell.width-wide bus).
+std::uint16_t expected_output_width(const Cell& cell);
+
+/// True when the cell computes combinationally from its inputs (its output
+/// can participate in a combinational loop).
+bool is_combinational(const Cell& cell);
+
+/// Input pins that must be connected for the cell to be well-formed.
+std::vector<std::uint16_t> required_input_pins(const Cell& cell);
+
 /// Aggregate statistics used by the resource-utilization experiments.
 struct NetlistStats {
   std::size_t cells = 0;
@@ -145,6 +156,14 @@ class Netlist {
   /// pin indices are consistent, port nets exist. Returns a list of
   /// human-readable problems (empty == valid).
   std::vector<std::string> validate() const;
+
+  /// Removes every cell that is unreachable backward from an output port
+  /// and every net left with neither reader nor port binding, compacting
+  /// ids in stable (ascending) order. Behaviour-preserving: only logic
+  /// with no observable effect is dropped. Returns the number of cells
+  /// removed. Must run before placement/routing state exists — PhysState
+  /// vectors indexed by the old ids are not remapped.
+  std::size_t prune_dead();
 
   /// Appends a deep copy of `other` into this netlist.
   /// Returns the (cell, net) index offsets assigned to the copied design.

@@ -1,0 +1,92 @@
+// Pure combinational cell evaluation, shared between the interpreter
+// (sim/simulator.cpp) and the lint constant folder (lint/analyze_values.cpp)
+// so "what does this cell compute" has exactly one definition. Sequential
+// cells (FF/SRL/BRAM, pipelined DSP) are not handled here; callers model
+// their state explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "sim/fixed.h"
+
+namespace fpgasim {
+
+/// Maximum number of input pins any combinational primitive reads
+/// (LutOp::kTruth6 consumes up to six single-bit operands).
+inline constexpr std::size_t kMaxCombPins = 6;
+
+namespace sim_detail {
+
+inline std::int64_t clamp_signed(std::int64_t v, int width) {
+  const std::int64_t hi = (1LL << (width - 1)) - 1;
+  const std::int64_t lo = -(1LL << (width - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+}  // namespace sim_detail
+
+/// Evaluates one combinational cell given the settled values of its input
+/// pins. `pins[i]` is the value on input pin i; missing/unconnected pins
+/// must be passed as 0 (the interpreter's in_val convention). `n` is the
+/// number of valid entries in `pins` (>= the pins the cell actually reads,
+/// extra entries are ignored). Sequential cells return 0.
+inline std::uint64_t eval_comb_cell(const Cell& cell, const std::uint64_t* pins,
+                                    std::size_t n) {
+  const int w = cell.width;
+  const auto pin = [&](std::size_t i) -> std::uint64_t { return i < n ? pins[i] : 0; };
+  const std::uint64_t a = pin(0);
+  const std::uint64_t b = pin(1);
+  switch (cell.type) {
+    case CellType::kConst:
+      return mask_width(cell.init, w);
+    case CellType::kLut:
+      switch (cell.op) {
+        case LutOp::kAnd: return mask_width(a & b, w);
+        case LutOp::kOr: return mask_width(a | b, w);
+        case LutOp::kXor: return mask_width(a ^ b, w);
+        case LutOp::kNot: return mask_width(~a, w);
+        case LutOp::kMux2: return mask_width((pin(2) & 1) ? b : a, w);
+        case LutOp::kEq: return a == b ? 1 : 0;
+        case LutOp::kLtU: return a < b ? 1 : 0;
+        case LutOp::kPass: return mask_width(a, w);
+        case LutOp::kTruth6: {
+          std::uint64_t index = 0;
+          for (std::size_t i = 0; i < cell.inputs.size() && i < kMaxCombPins; ++i) {
+            index |= (pin(i) & 1) << i;
+          }
+          return (cell.init >> index) & 1;
+        }
+      }
+      return 0;
+    case CellType::kAdd: {
+      const bool sub = (cell.init & 1) != 0;
+      return mask_width(sub ? a - b : a + b, w);
+    }
+    case CellType::kMax: {
+      const std::int64_t sa = sext(a, w);
+      const std::int64_t sb = sext(b, w);
+      return mask_width(static_cast<std::uint64_t>(sa >= sb ? sa : sb), w);
+    }
+    case CellType::kRelu: {
+      const std::int64_t sa = sext(a, w);
+      return mask_width(static_cast<std::uint64_t>(sa > 0 ? sa : 0), w);
+    }
+    case CellType::kDsp: {
+      const int shift = static_cast<int>(cell.init & 0x3f);
+      const std::int64_t prod =
+          sim_detail::clamp_signed((sext(a, w) * sext(b, w)) >> shift, w);
+      const std::int64_t sum = sim_detail::clamp_signed(prod + sext(pin(2), w), w);
+      return mask_width(static_cast<std::uint64_t>(sum), w);
+    }
+    case CellType::kFf:
+    case CellType::kSrl:
+    case CellType::kBram:
+      return 0;  // sequential cells are not evaluated here
+  }
+  return 0;
+}
+
+}  // namespace fpgasim

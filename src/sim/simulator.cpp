@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "sim/eval.h"
 #include "sim/fixed.h"
 
 namespace fpgasim {
@@ -20,14 +21,6 @@ bool is_sequential(const Cell& cell) {
     default:
       return false;
   }
-}
-
-std::int64_t clamp_signed(std::int64_t v, int width) {
-  const std::int64_t hi = (1LL << (width - 1)) - 1;
-  const std::int64_t lo = -(1LL << (width - 1));
-  if (v > hi) return hi;
-  if (v < lo) return lo;
-  return v;
 }
 
 }  // namespace
@@ -109,54 +102,10 @@ std::uint64_t Simulator::in_val(const Cell& cell, std::size_t pin) const {
 
 std::uint64_t Simulator::eval_cell(CellId cell_id) const {
   const Cell& cell = netlist_.cell(cell_id);
-  const int w = cell.width;
-  const std::uint64_t a = in_val(cell, 0);
-  const std::uint64_t b = in_val(cell, 1);
-  switch (cell.type) {
-    case CellType::kConst:
-      return mask_width(cell.init, w);
-    case CellType::kLut:
-      switch (cell.op) {
-        case LutOp::kAnd: return mask_width(a & b, w);
-        case LutOp::kOr: return mask_width(a | b, w);
-        case LutOp::kXor: return mask_width(a ^ b, w);
-        case LutOp::kNot: return mask_width(~a, w);
-        case LutOp::kMux2: return mask_width((in_val(cell, 2) & 1) ? b : a, w);
-        case LutOp::kEq: return a == b ? 1 : 0;
-        case LutOp::kLtU: return a < b ? 1 : 0;
-        case LutOp::kPass: return mask_width(a, w);
-        case LutOp::kTruth6: {
-          std::uint64_t index = 0;
-          for (std::size_t i = 0; i < cell.inputs.size() && i < 6; ++i) {
-            index |= (in_val(cell, i) & 1) << i;
-          }
-          return (cell.init >> index) & 1;
-        }
-      }
-      return 0;
-    case CellType::kAdd: {
-      const bool sub = (cell.init & 1) != 0;
-      return mask_width(sub ? a - b : a + b, w);
-    }
-    case CellType::kMax: {
-      const std::int64_t sa = sext(a, w), sb = sext(b, w);
-      return mask_width(static_cast<std::uint64_t>(sa >= sb ? sa : sb), w);
-    }
-    case CellType::kRelu: {
-      const std::int64_t sa = sext(a, w);
-      return mask_width(static_cast<std::uint64_t>(sa > 0 ? sa : 0), w);
-    }
-    case CellType::kDsp: {
-      const int shift = static_cast<int>(cell.init & 0x3f);
-      const std::int64_t prod =
-          clamp_signed((sext(a, w) * sext(b, w)) >> shift, w);
-      const std::int64_t sum =
-          clamp_signed(prod + sext(in_val(cell, 2), w), w);
-      return mask_width(static_cast<std::uint64_t>(sum), w);
-    }
-    default:
-      return 0;  // sequential cells are not evaluated here
-  }
+  std::uint64_t pins[kMaxCombPins] = {};
+  const std::size_t n = std::min(cell.inputs.size(), kMaxCombPins);
+  for (std::size_t i = 0; i < n; ++i) pins[i] = in_val(cell, i);
+  return eval_comb_cell(cell, pins, n);
 }
 
 void Simulator::settle() {

@@ -15,7 +15,13 @@ class NetlistBuilder {
  public:
   explicit NetlistBuilder(std::string name) : netlist_(std::move(name)) {}
 
-  Netlist take() && { return std::move(netlist_); }
+  /// Finalizes the component: drops logic with no path to an output port
+  /// (counters whose wrap is unused, degenerate-modulus residue, ...) so
+  /// generated netlists come out lint-clean, then releases the netlist.
+  Netlist take() && {
+    netlist_.prune_dead();
+    return std::move(netlist_);
+  }
   Netlist& netlist() { return netlist_; }
 
   // -- ports ------------------------------------------------------------

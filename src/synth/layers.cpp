@@ -128,7 +128,7 @@ Netlist make_conv_component(const ConvParams& p, const std::vector<Fixed16>& wei
   const int wb_groups = (p.weight_buffer_ocg > 0 && p.weight_buffer_ocg < ocg_n)
                             ? p.weight_buffer_ocg
                             : ocg_n;
-  NetId widx;
+  NetId widx = kInvalidNet;
   if (wb_groups == ocg_n) {
     const NetId t1 = b.mul_const_add(ocg.value, static_cast<std::uint64_t>(icg_n), icg.value,
                                      kAddrW);

@@ -3,12 +3,17 @@
 // simulated substrate and prints it next to the paper's reported values.
 #pragma once
 
+#include <array>
 #include <cstdio>
 #include <string>
 
 #include "flow/build.h"
 #include "flow/monolithic.h"
 #include "flow/preimpl.h"
+#include "sim/compiled.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -49,6 +54,152 @@ inline NetworkRun run_network(const Device& device, CnnModel model, long dsp_bud
   PhysState phys;
   run.mono = run_monolithic_flow(device, flat, phys);
   return run;
+}
+
+/// One interpreter-vs-compiled simulator measurement over a final netlist
+/// (DESIGN.md §13). Throughput is lane-cycles/second: the interpreter
+/// advances one test vector per step, the compiled engine kLanes (64).
+struct SimThroughput {
+  std::string workload;
+  std::size_t cells = 0, nets = 0;
+  int cycles = 0;
+  double compile_seconds = 0.0;   // one-time Netlist -> plan compilation
+  double interp_seconds = 0.0;    // `cycles` cycles, one vector
+  double compiled_seconds = 0.0;  // `cycles` cycles, kLanes vectors
+  double interp_cps = 0.0;        // interpreter cycles/second
+  std::size_t interp_settles = 0;  // total interpreter settle sweeps
+  std::size_t in_ports = 0;        // driven input ports per cycle
+  double compiled_lane_cps = 0.0; // compiled lane-cycles/second
+  double speedup = 0.0;           // compiled_lane_cps / interp_cps
+  std::size_t levels = 0, comb_ops = 0, seq_ops = 0, state_words = 0;
+  std::uint64_t compiled_cycles = 0;  // CompiledSim::cycle() after the run
+  std::string ab_diff;                // "" = bit-identical on the A/B check
+  // Fold of the observed outputs; keeps the timed loops from being
+  // dead-code eliminated (never compared: lanes see different stimulus).
+  std::uint64_t interp_checksum = 0, compiled_checksum = 0;
+
+  bool ok() const {
+    return ab_diff.empty() && compiled_cycles == static_cast<std::uint64_t>(cycles);
+  }
+};
+
+/// Times the interpreter and the compiled simulator on `cycles` cycles of
+/// seeded random stimulus over every input port, after first proving them
+/// bit-identical on sampled lanes via the A/B oracle.
+inline SimThroughput measure_sim_throughput(const Netlist& netlist,
+                                            const std::string& workload, int cycles,
+                                            std::uint64_t seed = 7, int ab_cycles = 12) {
+  SimThroughput r;
+  r.workload = workload;
+  r.cells = netlist.cell_count();
+  r.nets = netlist.net_count();
+  r.cycles = cycles;
+
+  std::vector<const Port*> ins;
+  const Port* first_out = nullptr;
+  for (const Port& port : netlist.ports()) {
+    if (port.dir == PortDir::kInput) ins.push_back(&port);
+    else if (!first_out) first_out = &port;
+  }
+
+  // Bit-exactness first: the throughput numbers only count if the engines
+  // agree on the same workload.
+  static constexpr std::array<int, 3> kAbLanes{0, 31, 63};
+  r.ab_diff = compare_compiled_vs_interpreter(netlist, ab_cycles, seed, kAbLanes);
+
+  Stopwatch compile_watch;
+  CompiledSim cs(netlist);
+  r.compile_seconds = compile_watch.seconds();
+  r.levels = cs.levels();
+  r.comb_ops = cs.comb_ops();
+  r.seq_ops = cs.seq_ops();
+  r.state_words = cs.state_words();
+  std::vector<int> in_idx;
+  for (const Port* p : ins) in_idx.push_back(cs.input_index(p->name));
+  const int out_idx = first_out ? cs.output_index(first_out->name) : -1;
+
+  {
+    Simulator sim(netlist);
+    Rng rng(seed + 1);
+    Stopwatch watch;
+    for (int c = 0; c < cycles; ++c) {
+      for (const Port* p : ins) sim.set_input(p->name, rng());
+      sim.step();
+      if (first_out) r.interp_checksum ^= sim.get_output(first_out->name);
+    }
+    r.interp_seconds = watch.seconds();
+    r.interp_settles = sim.settles();
+    r.in_ports = ins.size();
+  }
+  {
+    Rng rng(seed + 1);
+    std::array<std::uint64_t, CompiledSim::kLanes> lanes;
+    Stopwatch watch;
+    for (int c = 0; c < cycles; ++c) {
+      for (const int idx : in_idx) {
+        for (std::uint64_t& v : lanes) v = rng();
+        cs.set_inputs(idx, lanes);
+      }
+      cs.step();
+      if (out_idx >= 0) {
+        r.compiled_checksum ^= cs.get_output(out_idx, static_cast<std::size_t>(c) % 64);
+      }
+    }
+    r.compiled_seconds = watch.seconds();
+  }
+  r.compiled_cycles = cs.cycle();
+  if (r.interp_seconds > 0.0) r.interp_cps = cycles / r.interp_seconds;
+  if (r.compiled_seconds > 0.0) {
+    r.compiled_lane_cps =
+        static_cast<double>(cycles) * CompiledSim::kLanes / r.compiled_seconds;
+  }
+  if (r.interp_cps > 0.0) r.speedup = r.compiled_lane_cps / r.interp_cps;
+  return r;
+}
+
+inline void print_sim_throughput(const SimThroughput& r) {
+  std::printf("sim throughput [%s]: %zu cells, %d cycles | interpreter %.0f cyc/s, "
+              "compiled %.0f lane-cyc/s (%zu levels, %zu ops) -> %.1fx%s\n",
+              r.workload.c_str(), r.cells, r.cycles, r.interp_cps, r.compiled_lane_cps,
+              r.levels, r.comb_ops + r.seq_ops, r.speedup,
+              r.ab_diff.empty() ? "" : "  A/B DIVERGED");
+  if (!r.ab_diff.empty()) std::fprintf(stderr, "FAIL %s: %s\n", r.workload.c_str(),
+                                       r.ab_diff.c_str());
+  // Lazy-settle note: set_input() used to re-settle the whole fabric per
+  // call, costing (ports + 1) sweeps/cycle on this stream; the dirty flag
+  // makes it 2 (pre-edge + observed post-edge) regardless of port count.
+  if (r.cycles > 0) {
+    std::printf("  interpreter settles: %zu (%.1f/cycle over %zu input ports; "
+                "eager set_input would sweep %zu/cycle)\n",
+                r.interp_settles,
+                static_cast<double>(r.interp_settles) / r.cycles, r.in_ports,
+                r.in_ports + 1);
+  }
+}
+
+/// Emits one BENCH_sim.json section value for a measurement.
+inline void emit_sim_throughput(JsonWriter& json, const SimThroughput& r) {
+  json.begin_object();
+  json.key("workload").value(r.workload);
+  json.key("cells").value(r.cells);
+  json.key("nets").value(r.nets);
+  json.key("cycles").value(r.cycles);
+  json.key("levels").value(r.levels);
+  json.key("comb_ops").value(r.comb_ops);
+  json.key("seq_ops").value(r.seq_ops);
+  json.key("state_words").value(r.state_words);
+  json.key("lanes").value(CompiledSim::kLanes);
+  json.key("compile_seconds").value(r.compile_seconds);
+  json.key("interpreter_seconds").value(r.interp_seconds);
+  json.key("compiled_seconds").value(r.compiled_seconds);
+  json.key("interpreter_cycles_per_sec").value(r.interp_cps);
+  json.key("interpreter_settles").value(r.interp_settles);
+  json.key("input_ports").value(r.in_ports);
+  json.key("compiled_lane_cycles_per_sec").value(r.compiled_lane_cps);
+  json.key("speedup").value(r.speedup);
+  json.key("bit_identical").value(r.ab_diff.empty());
+  json.key("compiled_cycles_run").value(static_cast<std::size_t>(r.compiled_cycles));
+  json.end_object();
 }
 
 inline std::string pct_of(std::int64_t used, std::int64_t total) {

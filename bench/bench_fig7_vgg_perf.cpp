@@ -8,7 +8,11 @@ using namespace fpgasim;
 using namespace fpgasim::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg == "--smoke") quick = true;
+  }
   const Device device = make_xcku5p_sim();
   NetworkRun run = run_network(device, make_vgg16(), quick ? 384 : 1024, 14);
 
@@ -40,5 +44,17 @@ int main(int argc, char** argv) {
   std::puts("(paper components: 300-475 MHz, baseline VGG 200 MHz, composed 243 MHz;");
   std::puts(" fabric discontinuities around IO columns stretch VGG's datapaths, which");
   std::puts(" the routing model reproduces with its IO-column crossing penalty.)");
-  return 0;
+
+  // Simulation-engine throughput on the composed VGG netlist (DESIGN.md
+  // §13), merged into BENCH_sim.json next to bench_table3's sections.
+  const SimThroughput vgg = measure_sim_throughput(
+      run.composed.netlist, quick ? "vgg16_preimpl_quick" : "vgg16_preimpl",
+      quick ? 16 : 24, 7, 8);
+  print_sim_throughput(vgg);
+  JsonWriter json;
+  emit_sim_throughput(json, vgg);
+  if (update_json_file("BENCH_sim.json", "vgg16", json.str())) {
+    std::puts("wrote BENCH_sim.json (vgg16 section)");
+  }
+  return vgg.ok() ? 0 : 1;
 }

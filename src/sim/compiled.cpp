@@ -1,0 +1,823 @@
+#include "sim/compiled.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/eval.h"
+#include "sim/fixed.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace fpgasim {
+namespace {
+
+constexpr std::size_t kLanes = CompiledSim::kLanes;
+
+std::uint64_t width_mask(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+}  // namespace
+
+CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
+  net_count_ = netlist.net_count();
+  const auto slot_of = [](NetId n) { return static_cast<std::uint32_t>(n * kLanes); };
+
+  // Hidden slot groups: one per pipelined DSP (its combinational MAC value,
+  // computed during settle, captured by the pipe on step), plus a single
+  // always-zero group that unconnected input pins resolve to.
+  std::vector<std::uint32_t> dsp_hidden(netlist.cell_count(), 0);
+  std::size_t hidden = 0;
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (cell.type == CellType::kDsp && cell.stages > 0) {
+      dsp_hidden[c] = static_cast<std::uint32_t>((net_count_ + hidden) * kLanes);
+      ++hidden;
+    }
+  }
+  const auto zero_slot = static_cast<std::uint32_t>((net_count_ + hidden) * kLanes);
+  const std::size_t state_elems = (net_count_ + hidden + 1) * kLanes;
+
+  const auto pin_slot = [&](const Cell& cell, std::size_t pin) -> std::uint32_t {
+    if (pin >= cell.inputs.size() || cell.inputs[pin] == kInvalidNet) return zero_slot;
+    return slot_of(cell.inputs[pin]);
+  };
+
+  // Schedule nodes: combinational cells minus constants. Kahn over
+  // comb->comb edges detects loops and yields a topological order; levels
+  // are the longest-path depth, so cells within a level are independent.
+  // (Pipelined-DSP MAC captures are NOT part of the settle schedule: they
+  // are only needed once per clock edge, so they evaluate in step()
+  // phase 1 against the already-settled fabric — the interpreter likewise
+  // computes each MAC once per cycle.)
+  struct Node {
+    CellId cell;
+  };
+  std::vector<Node> nodes;
+  std::vector<std::int32_t> comb_node(netlist.cell_count(), -1);
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (cell.type == CellType::kConst || is_sequential_cell(cell)) continue;
+    comb_node[c] = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back({c});
+  }
+
+  std::vector<int> indegree(nodes.size(), 0);
+  for (const Node& node : nodes) {
+    const Cell& cell = netlist.cell(node.cell);
+    for (NetId in : cell.inputs) {
+      if (in == kInvalidNet) continue;
+      const Net& net = netlist.net(in);
+      if (net.driver != kInvalidCell && comb_node[net.driver] >= 0) {
+        ++indegree[static_cast<std::size_t>(comb_node[node.cell])];
+      }
+    }
+  }
+  std::vector<int> level(nodes.size(), 0);
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::size_t processed = 0;
+  int max_level = -1;
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop();
+    ++processed;
+    max_level = std::max(max_level, level[i]);
+    for (NetId out : netlist.cell(nodes[i].cell).outputs) {
+      if (out == kInvalidNet) continue;
+      for (const auto& [sink, pin] : netlist.net(out).sinks) {
+        (void)pin;
+        const std::int32_t j = comb_node[sink];
+        if (j < 0) continue;
+        level[static_cast<std::size_t>(j)] =
+            std::max(level[static_cast<std::size_t>(j)], level[i] + 1);
+        if (--indegree[static_cast<std::size_t>(j)] == 0) {
+          ready.push(static_cast<std::size_t>(j));
+        }
+      }
+    }
+  }
+  if (processed != nodes.size()) {
+    throw std::runtime_error("compiled sim: combinational loop in netlist '" + name_ + "'");
+  }
+
+  // Stable (level, cell-id) order: deterministic and levelized.
+  std::vector<std::size_t> order(nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (level[x] != level[y]) return level[x] < level[y];
+    return nodes[x].cell < nodes[y].cell;
+  });
+
+  level_begin_.assign(static_cast<std::size_t>(max_level + 2), 0);
+  for (std::size_t i : order) {
+    const Node& node = nodes[i];
+    const Cell& cell = netlist.cell(node.cell);
+
+    CombOp op;
+    op.width = cell.width;
+    op.mask = width_mask(cell.width);
+    op.init = cell.init;
+    op.a = pin_slot(cell, 0);
+    op.b = pin_slot(cell, 1);
+    op.c = pin_slot(cell, 2);
+
+    {
+      switch (cell.type) {
+        case CellType::kLut:
+          switch (cell.op) {
+            case LutOp::kAnd: op.op = Op::kAnd; break;
+            case LutOp::kOr: op.op = Op::kOr; break;
+            case LutOp::kXor: op.op = Op::kXor; break;
+            case LutOp::kNot: op.op = Op::kNot; break;
+            case LutOp::kMux2: op.op = Op::kMux2; break;
+            case LutOp::kEq: op.op = Op::kEq; break;
+            case LutOp::kLtU: op.op = Op::kLtU; break;
+            case LutOp::kPass: op.op = Op::kPass; break;
+            case LutOp::kTruth6: {
+              op.op = Op::kTruth6;
+              op.in_begin = static_cast<std::uint32_t>(truth_inputs_.size());
+              const std::size_t n = std::min(cell.inputs.size(), kMaxCombPins);
+              for (std::size_t p = 0; p < n; ++p) truth_inputs_.push_back(pin_slot(cell, p));
+              op.in_count = static_cast<std::uint32_t>(n);
+              break;
+            }
+          }
+          break;
+        case CellType::kAdd:
+          op.op = (cell.init & 1) != 0 ? Op::kSub : Op::kAdd;
+          break;
+        case CellType::kMax: op.op = Op::kMax; break;
+        case CellType::kRelu: op.op = Op::kRelu; break;
+        case CellType::kDsp: op.op = Op::kDsp; break;  // stages == 0
+        default:
+          continue;  // unreachable: consts folded, sequentials below
+      }
+      // Primary output plus explicit fan-out of any further output pins.
+      std::uint32_t primary = zero_slot;
+      bool have_primary = false;
+      for (NetId out : cell.outputs) {
+        if (out == kInvalidNet) continue;
+        if (!have_primary) {
+          primary = slot_of(out);
+          have_primary = true;
+        } else {
+          if (op.fan_count == 0) op.fan_begin = static_cast<std::uint32_t>(fanout_.size());
+          fanout_.push_back(slot_of(out));
+          ++op.fan_count;
+        }
+      }
+      if (!have_primary) continue;  // nothing observable
+      op.out = primary;
+    }
+    level_begin_[static_cast<std::size_t>(level[i]) + 1] += 1;
+    ops_.push_back(op);
+  }
+  // Prefix-sum the per-level counts into [begin, end) offsets.
+  for (std::size_t l = 1; l < level_begin_.size(); ++l) {
+    level_begin_[l] += level_begin_[l - 1];
+  }
+
+  // One MAC-capture op per pipelined DSP, evaluated once per clock edge in
+  // step() phase 1 (the fabric is settled there, so no levelization
+  // needed); the result lands in the DSP's hidden slot.
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (cell.type != CellType::kDsp || cell.stages == 0) continue;
+    CombOp op;
+    op.op = Op::kDsp;
+    op.width = cell.width;
+    op.mask = width_mask(cell.width);
+    op.init = cell.init;
+    op.a = pin_slot(cell, 0);
+    op.b = pin_slot(cell, 1);
+    op.c = pin_slot(cell, 2);
+    op.out = dsp_hidden[c];
+    dsp_capture_.push_back(op);
+  }
+
+  // Sequential plan, in cell order (deterministic; order is semantically
+  // irrelevant thanks to the two-phase edge).
+  std::size_t pipe_words = 0;
+  std::size_t mem_words = 0;
+  std::uint32_t capture_index = 0;
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (!is_sequential_cell(cell)) continue;
+
+    SeqOp sq;
+    sq.type = cell.type;
+    sq.width = cell.width;
+    sq.mask = width_mask(cell.width);
+    sq.depth = static_cast<std::uint32_t>(seq_pipe_depth(cell));
+    sq.pipe_base = static_cast<std::uint32_t>(pipe_words);
+    pipe_words += sq.depth * kLanes;
+
+    switch (cell.type) {
+      case CellType::kFf:
+      case CellType::kSrl:
+        sq.d = pin_slot(cell, 0);
+        sq.has_ce = cell.inputs.size() > 1 && cell.inputs[1] != kInvalidNet;
+        if (sq.has_ce) sq.ce = slot_of(cell.inputs[1]);
+        break;
+      case CellType::kDsp:
+        sq.d = dsp_hidden[c];  // MAC value computed by the capture op
+        sq.capture = capture_index++;
+        break;
+      case CellType::kBram: {
+        sq.waddr = pin_slot(cell, 0);
+        sq.wdata = pin_slot(cell, 1);
+        sq.has_we = cell.inputs.size() > 2 && cell.inputs[2] != kInvalidNet;
+        if (sq.has_we) sq.we = slot_of(cell.inputs[2]);
+        const bool has_raddr = cell.inputs.size() > 3 && cell.inputs[3] != kInvalidNet;
+        sq.raddr = has_raddr ? slot_of(cell.inputs[3]) : sq.waddr;
+        sq.mem_depth = cell.bram_depth;
+        // A BRAM that can never be written holds lane-invariant contents:
+        // keep one shared copy (VGG coefficient ROMs would otherwise cost
+        // 64x the memory). Writable memories get a lane-major copy each.
+        sq.mem_shared = !sq.has_we;
+        sq.mem_base = static_cast<std::uint32_t>(mem_words);
+        mem_words += sq.mem_shared ? sq.mem_depth : sq.mem_depth * kLanes;
+        break;
+      }
+      default:
+        break;
+    }
+
+    for (NetId out : cell.outputs) {
+      if (out == kInvalidNet) continue;
+      if (sq.fan_count == 0) sq.fan_begin = static_cast<std::uint32_t>(fanout_.size());
+      fanout_.push_back(slot_of(out));
+      ++sq.fan_count;
+    }
+    seq_.push_back(sq);
+  }
+  seq_head_.assign(seq_.size(), 0);
+  seq_en_.assign(seq_.size(), 0);
+  std::uint32_t max_depth = 1;
+  for (const SeqOp& sq : seq_) max_depth = std::max(max_depth, sq.depth);
+
+  // Port tables (name -> slot, resolved once).
+  for (const Port& port : netlist.ports()) {
+    PortPlan plan{port.name, slot_of(port.net), port.width};
+    (port.dir == PortDir::kInput ? inputs_ : outputs_).push_back(plan);
+  }
+
+  // Input cone: the subset of comb ops transitively downstream of input
+  // ports. After a clock edge the whole fabric is settled, and only
+  // set_inputs() can invalidate it — so the lazy pre-edge re-settle runs
+  // just these ops instead of the full schedule (the bulk of a datapath
+  // hangs off registers and memories, not directly off input pins).
+  {
+    std::vector<char> in_cone(state_elems / kLanes, 0);
+    for (const PortPlan& in : inputs_) in_cone[in.slot / kLanes] = 1;
+    for (const CombOp& op : ops_) {
+      bool hit = in_cone[op.a / kLanes] || in_cone[op.b / kLanes] ||
+                 in_cone[op.c / kLanes];
+      for (std::uint32_t j = 0; !hit && j < op.in_count; ++j) {
+        hit = in_cone[truth_inputs_[op.in_begin + j] / kLanes] != 0;
+      }
+      if (!hit) continue;
+      cone_ops_.push_back(op);
+      in_cone[op.out / kLanes] = 1;
+      for (std::uint32_t f = 0; f < op.fan_count; ++f) {
+        in_cone[fanout_[op.fan_begin + f] / kLanes] = 1;
+      }
+    }
+  }
+
+  // Lane word selection: 32-bit lanes when every value in the design fits
+  // (DSP MACs use 64-bit intermediates either way, so any shift is safe),
+  // else the general 64-bit engine.
+  narrow_ = true;
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    if (netlist.cell(c).width > 32) narrow_ = false;
+  }
+  for (const Port& port : netlist.ports()) {
+    if (port.width > 32) narrow_ = false;
+  }
+
+  const std::size_t ring_elems = static_cast<std::size_t>(max_depth) * kLanes;
+  if (narrow_) {
+    init_state<std::uint32_t>(netlist, state_elems, pipe_words, mem_words, ring_elems);
+  } else {
+    init_state<std::uint64_t>(netlist, state_elems, pipe_words, mem_words, ring_elems);
+  }
+  settle();
+}
+
+template <typename W>
+void CompiledSim::init_state(const Netlist& netlist, std::size_t state_elems,
+                             std::size_t pipe_elems, std::size_t mem_elems,
+                             std::size_t ring_elems) {
+  std::vector<W>& state = state_vec<W>();
+  state.assign(state_elems, 0);
+  pipe_vec<W>().assign(pipe_elems, 0);
+  next_vec<W>().assign(seq_.size() * kLanes, 0);
+  ring_vec<W>().assign(ring_elems, 0);
+  std::vector<W>& mem = mem_vec<W>();
+  mem.assign(mem_elems, 0);
+
+  // Fold constants into the initial state; they never change.
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (cell.type != CellType::kConst) continue;
+    const W v = static_cast<W>(mask_width(cell.init, cell.width));
+    for (NetId out : cell.outputs) {
+      if (out == kInvalidNet) continue;
+      std::fill_n(&state[out * kLanes], kLanes, v);
+    }
+  }
+
+  // ROM preloads.
+  std::size_t si = 0;
+  for (CellId c = 0; c < netlist.cell_count(); ++c) {
+    const Cell& cell = netlist.cell(c);
+    if (!is_sequential_cell(cell)) continue;
+    SeqOp& sq = seq_[si++];
+    if (cell.type != CellType::kBram || cell.rom_id < 0) continue;
+    const auto& rom = netlist.rom(cell.rom_id);
+    for (std::size_t i = 0; i < sq.mem_depth && i < rom.size(); ++i) {
+      const W v = static_cast<W>(mask_width(rom[i], cell.width));
+      if (sq.mem_shared) {
+        mem[sq.mem_base + i] = v;
+      } else {
+        std::fill_n(&mem[sq.mem_base + i * kLanes], kLanes, v);
+      }
+    }
+  }
+}
+
+template <typename W> std::vector<W>& CompiledSim::state_vec() const {
+  if constexpr (sizeof(W) == 4) return state32_; else return state64_;
+}
+template <typename W> std::vector<W>& CompiledSim::pipe_vec() {
+  if constexpr (sizeof(W) == 4) return pipe32_; else return pipe64_;
+}
+template <typename W> std::vector<W>& CompiledSim::mem_vec() {
+  if constexpr (sizeof(W) == 4) return mem32_; else return mem64_;
+}
+template <typename W> std::vector<W>& CompiledSim::next_vec() {
+  if constexpr (sizeof(W) == 4) return next32_; else return next64_;
+}
+template <typename W> std::vector<W>& CompiledSim::ring_vec() {
+  if constexpr (sizeof(W) == 4) return ring32_; else return ring64_;
+}
+
+int CompiledSim::input_index(const std::string& name) const {
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].name == name) return static_cast<int>(i);
+  }
+  throw std::runtime_error("compiled sim: no input port '" + name + "'");
+}
+
+int CompiledSim::output_index(const std::string& name) const {
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i].name == name) return static_cast<int>(i);
+  }
+  throw std::runtime_error("compiled sim: no output port '" + name + "'");
+}
+
+void CompiledSim::set_inputs(int input, std::span<const std::uint64_t> lanes) {
+  const PortPlan& port = inputs_[static_cast<std::size_t>(input)];
+  const std::uint64_t m = width_mask(port.width);
+  const std::size_t n = std::min(lanes.size(), kLanes);
+  if (narrow_) {
+    std::uint32_t* v = &state32_[port.slot];
+    for (std::size_t l = 0; l < n; ++l) v[l] = static_cast<std::uint32_t>(lanes[l] & m);
+  } else {
+    std::uint64_t* v = &state64_[port.slot];
+    for (std::size_t l = 0; l < n; ++l) v[l] = lanes[l] & m;
+  }
+  dirty_ = true;
+}
+
+void CompiledSim::set_inputs(int input, std::uint64_t value_all_lanes) {
+  const PortPlan& port = inputs_[static_cast<std::size_t>(input)];
+  const std::uint64_t v = value_all_lanes & width_mask(port.width);
+  if (narrow_) {
+    std::fill_n(&state32_[port.slot], kLanes, static_cast<std::uint32_t>(v));
+  } else {
+    std::fill_n(&state64_[port.slot], kLanes, v);
+  }
+  dirty_ = true;
+}
+
+void CompiledSim::get_outputs(int output, std::span<std::uint64_t> lanes) const {
+  settle_if_dirty();
+  const PortPlan& port = outputs_[static_cast<std::size_t>(output)];
+  const std::size_t n = std::min(lanes.size(), kLanes);
+  if (narrow_) {
+    const std::uint32_t* v = &state32_[port.slot];
+    for (std::size_t l = 0; l < n; ++l) lanes[l] = v[l];
+  } else {
+    const std::uint64_t* v = &state64_[port.slot];
+    for (std::size_t l = 0; l < n; ++l) lanes[l] = v[l];
+  }
+}
+
+std::uint64_t CompiledSim::get_output(int output, std::size_t lane) const {
+  settle_if_dirty();
+  const std::uint32_t slot = outputs_[static_cast<std::size_t>(output)].slot;
+  return narrow_ ? state32_[slot + lane] : state64_[slot + lane];
+}
+
+std::uint64_t CompiledSim::peek_net(NetId net, std::size_t lane) const {
+  settle_if_dirty();
+  return narrow_ ? state32_[net * kLanes + lane] : state64_[net * kLanes + lane];
+}
+
+template <typename W>
+void CompiledSim::eval_op(const CombOp& op) const {
+  // Signed intermediates for compare/relu: 32-bit suffices for 32-bit
+  // lanes (values are masked to <= 32 bits), 64-bit otherwise. The DSP
+  // MAC always widens to 64-bit (see Op::kDsp below).
+  using SW = std::conditional_t<sizeof(W) == 4, std::int32_t, std::int64_t>;
+  using UW = std::make_unsigned_t<SW>;
+  constexpr int kSWBits = sizeof(SW) * 8;
+  // Sign-extend a w-bit lane value: shift left in the unsigned domain
+  // (never overflows), arithmetic shift back.
+  const auto sx = [](W v, int k) {
+    return static_cast<SW>(static_cast<UW>(v) << k) >> k;
+  };
+  std::vector<W>& state = state_vec<W>();
+  const W* a = &state[op.a];
+  const W* b = &state[op.b];
+  const W* c = &state[op.c];
+  W* o = &state[op.out];
+  const W m = static_cast<W>(op.mask);
+  const int w = op.width;
+  switch (op.op) {
+    case Op::kAnd:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>(a[l] & b[l] & m);
+      break;
+    case Op::kOr:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>((a[l] | b[l]) & m);
+      break;
+    case Op::kXor:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>((a[l] ^ b[l]) & m);
+      break;
+    case Op::kNot:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>(~a[l] & m);
+      break;
+    case Op::kMux2:
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        o[l] = static_cast<W>(((c[l] & 1) != 0 ? b[l] : a[l]) & m);
+      }
+      break;
+    case Op::kEq:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = a[l] == b[l] ? 1 : 0;
+      break;
+    case Op::kLtU:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = a[l] < b[l] ? 1 : 0;
+      break;
+    case Op::kPass:
+      for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>(a[l] & m);
+      break;
+    case Op::kTruth6: {
+      const std::uint32_t* tin = &truth_inputs_[op.in_begin];
+      const std::uint64_t table = op.init;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        std::uint64_t index = 0;
+        for (std::uint32_t j = 0; j < op.in_count; ++j) {
+          index |= static_cast<std::uint64_t>(state[tin[j] + l] & 1) << j;
+        }
+        o[l] = static_cast<W>((table >> index) & 1);
+      }
+      break;
+    }
+    case Op::kAdd:
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        o[l] = static_cast<W>((a[l] + b[l]) & m);
+      }
+      break;
+    case Op::kSub:
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        o[l] = static_cast<W>((a[l] - b[l]) & m);
+      }
+      break;
+    case Op::kMax: {
+      const int k = kSWBits - w;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const SW sa = sx(a[l], k);
+        const SW sb = sx(b[l], k);
+        o[l] = static_cast<W>(static_cast<W>(sa >= sb ? sa : sb) & m);
+      }
+      break;
+    }
+    case Op::kRelu: {
+      const int k = kSWBits - w;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const SW sa = sx(a[l], k);
+        o[l] = static_cast<W>(static_cast<W>(sa > 0 ? sa : 0) & m);
+      }
+      break;
+    }
+    case Op::kDsp: {
+      const int shift = static_cast<int>(op.init & 0x3f);
+      if (w >= 64) {  // sext and clamp are identities at full width
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          // Unsigned-domain wrap multiply/add, matching eval_comb_cell.
+          const std::int64_t prod =
+              static_cast<std::int64_t>(static_cast<std::uint64_t>(a[l]) *
+                                        static_cast<std::uint64_t>(b[l])) >> shift;
+          o[l] = static_cast<W>(static_cast<std::uint64_t>(prod) +
+                                static_cast<std::uint64_t>(c[l]));
+        }
+        break;
+      }
+      // Fast path: a 16x16 MAC fits int32 exactly (|product| <= 2^30)
+      // when the post-multiply shift keeps the int32 shift defined; int32
+      // lanes vectorize ~4x denser than the general int64 path below.
+      if (w <= 16 && shift <= 30) {
+        const int k32 = 32 - w;
+        const auto sx32 = [](W v, int kk) {
+          return static_cast<std::int32_t>(static_cast<std::uint32_t>(v) << kk) >> kk;
+        };
+        const std::int32_t hi32 = (std::int32_t{1} << (w - 1)) - 1;
+        const std::int32_t lo32 = -hi32 - 1;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const std::int32_t sa = sx32(static_cast<W>(a[l] & m), k32);
+          const std::int32_t sb = sx32(static_cast<W>(b[l] & m), k32);
+          const std::int32_t sc = sx32(static_cast<W>(c[l] & m), k32);
+          std::int32_t prod = (sa * sb) >> shift;
+          prod = prod > hi32 ? hi32 : prod < lo32 ? lo32 : prod;
+          std::int32_t sum = prod + sc;
+          sum = sum > hi32 ? hi32 : sum < lo32 ? lo32 : sum;
+          o[l] = static_cast<W>(static_cast<std::uint32_t>(sum) & op.mask);
+        }
+        break;
+      }
+      // General: 64-bit intermediates (a 32x32 MAC overflows int32), with
+      // hoisted sign-extension shift and branchless clamps so the 64-lane
+      // loop vectorizes; semantics identical to eval_comb_cell.
+      const int k = 64 - w;
+      const auto sx64 = [](W v, int kk) {
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << kk) >> kk;
+      };
+      const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+      const std::int64_t lo = -hi - 1;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const std::int64_t sa = sx64(a[l], k);
+        const std::int64_t sb = sx64(b[l], k);
+        const std::int64_t sc = sx64(c[l], k);
+        // Wrap multiply in the unsigned domain (w up to 63 overflows int64).
+        std::int64_t prod = static_cast<std::int64_t>(
+                                static_cast<std::uint64_t>(sa) *
+                                static_cast<std::uint64_t>(sb)) >> shift;
+        prod = prod > hi ? hi : prod < lo ? lo : prod;
+        std::int64_t sum = prod + sc;
+        sum = sum > hi ? hi : sum < lo ? lo : sum;
+        o[l] = static_cast<W>(static_cast<std::uint64_t>(sum) & op.mask);
+      }
+      break;
+    }
+  }
+  for (std::uint32_t f = 0; f < op.fan_count; ++f) {
+    std::copy_n(o, kLanes, &state[fanout_[op.fan_begin + f]]);
+  }
+}
+
+void CompiledSim::settle() const {
+  if (narrow_) settle_impl<std::uint32_t>(ops_);
+  else settle_impl<std::uint64_t>(ops_);
+}
+
+void CompiledSim::settle_if_dirty() const {
+  if (!dirty_) return;
+  if (narrow_) settle_impl<std::uint32_t>(cone_ops_);
+  else settle_impl<std::uint64_t>(cone_ops_);
+}
+
+template <typename W>
+void CompiledSim::settle_impl(const std::vector<CombOp>& ops) const {
+  for (const CombOp& op : ops) eval_op<W>(op);
+  dirty_ = false;
+}
+
+void CompiledSim::step() {
+  if (narrow_) step_impl<std::uint32_t>();
+  else step_impl<std::uint64_t>();
+}
+
+template <typename W>
+void CompiledSim::step_impl() {
+  settle_if_dirty();  // phase 1 must read a settled fabric
+  std::vector<W>& state = state_vec<W>();
+  std::vector<W>& pipe_state = pipe_vec<W>();
+  std::vector<W>& mem_state = mem_vec<W>();
+  std::vector<W>& seq_next = next_vec<W>();
+  std::vector<W>& ring_scratch = ring_vec<W>();
+
+  // Phase 1: capture next values and enables for every sequential op.
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    const SeqOp& sq = seq_[i];
+    W* next = &seq_next[i * kLanes];
+    std::uint64_t en = ~0ULL;
+    if (sq.has_ce) {
+      const W* ce = &state[sq.ce];
+      en = 0;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        en |= static_cast<std::uint64_t>(ce[l] & 1) << l;
+      }
+    }
+    seq_en_[i] = en;
+
+    switch (sq.type) {
+      case CellType::kFf:
+      case CellType::kSrl: {
+        const W* d = &state[sq.d];
+        const W mask = static_cast<W>(sq.mask);
+        for (std::size_t l = 0; l < kLanes; ++l) next[l] = static_cast<W>(d[l] & mask);
+        break;
+      }
+      case CellType::kDsp: {
+        // Compute the MAC once per edge against the settled fabric (the
+        // capture is not part of the settle schedule).
+        eval_op<W>(dsp_capture_[sq.capture]);
+        std::copy_n(&state[sq.d], kLanes, next);
+        break;
+      }
+      case CellType::kBram: {
+        const W* raddr = &state[sq.raddr];
+        if (sq.mem_shared) {
+          const W* mem = sq.mem_depth > 0 ? &mem_state[sq.mem_base] : nullptr;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            next[l] = raddr[l] < sq.mem_depth ? mem[raddr[l]] : 0;
+          }
+        } else {
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            next[l] = raddr[l] < sq.mem_depth
+                          ? mem_state[sq.mem_base + raddr[l] * kLanes + l]
+                          : 0;
+          }
+          // Read-first within the cell: the write lands after the capture.
+          const W* we = &state[sq.we];
+          const W* waddr = &state[sq.waddr];
+          const W* wdata = &state[sq.wdata];
+          const W mask = static_cast<W>(sq.mask);
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            if ((we[l] & 1) != 0 && waddr[l] < sq.mem_depth) {
+              mem_state[sq.mem_base + waddr[l] * kLanes + l] =
+                  static_cast<W>(wdata[l] & mask);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Phase 2: commit pipes and drive every connected output pin. The pipe
+  // is a ring (logical slot s at physical (head + s) % depth): the common
+  // all-lanes-enabled commit retreats the head and writes one group —
+  // O(1) in depth, matching the interpreter's deque rotate.
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    const SeqOp& sq = seq_[i];
+    const W* next = &seq_next[i * kLanes];
+    const std::uint64_t en = seq_en_[i];
+    if (sq.depth == 1) {
+      // Depth-1 pipes (plain FFs, BRAM output registers): the driven state
+      // slots themselves are the storage — commit straight from the
+      // capture, skipping the pipe write + tail read round-trip.
+      if (en == ~0ULL) {
+        for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
+          std::copy_n(next, kLanes, &state[fanout_[sq.fan_begin + f]]);
+        }
+      } else if (en != 0) {
+        for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
+          W* dst = &state[fanout_[sq.fan_begin + f]];
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            if ((en >> l) & 1) dst[l] = next[l];
+          }
+        }
+      }
+      continue;
+    }
+    W* pipe = &pipe_state[sq.pipe_base];
+    std::uint32_t& head = seq_head_[i];
+    if (en == ~0ULL) {
+      head = head == 0 ? sq.depth - 1 : head - 1;
+      std::copy_n(next, kLanes, &pipe[head * kLanes]);
+    } else if (en != 0) {
+      // Lanes diverge on CE: normalize the ring to head = 0, then shift
+      // with an enable blend (a shared head cannot represent per-lane
+      // rotation). Rare — only CE-gated pipes with divergent lane inputs.
+      if (head != 0) {
+        for (std::uint32_t s = 0; s < sq.depth; ++s) {
+          const std::uint32_t phys = head + s < sq.depth ? head + s : head + s - sq.depth;
+          std::copy_n(&pipe[phys * kLanes], kLanes, &ring_scratch[s * kLanes]);
+        }
+        std::copy_n(ring_scratch.data(), static_cast<std::size_t>(sq.depth) * kLanes,
+                    pipe);
+        head = 0;
+      }
+      for (std::uint32_t s = sq.depth - 1; s > 0; --s) {
+        W* dst = &pipe[s * kLanes];
+        const W* src = &pipe[(s - 1) * kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          if ((en >> l) & 1) dst[l] = src[l];
+        }
+      }
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        if ((en >> l) & 1) pipe[l] = next[l];
+      }
+    }
+    const std::uint32_t tail =
+        head + sq.depth - 1 < sq.depth ? head + sq.depth - 1 : head - 1;
+    const W* tail_group = &pipe[tail * kLanes];
+    for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
+      std::copy_n(tail_group, kLanes, &state[fanout_[sq.fan_begin + f]]);
+    }
+  }
+
+  // Phase 3: re-settle the combinational fabric on the new state.
+  settle();
+  ++cycle_;
+}
+
+std::string compare_compiled_vs_interpreter(const Netlist& netlist, int cycles,
+                                            std::uint64_t seed,
+                                            std::span<const int> lanes_to_check) {
+  constexpr std::size_t lanes = CompiledSim::kLanes;
+  std::vector<const Port*> ins;
+  std::vector<const Port*> outs;
+  for (const Port& port : netlist.ports()) {
+    (port.dir == PortDir::kInput ? ins : outs).push_back(&port);
+  }
+
+  // Seeded stimulus: every input port of every lane re-randomized each
+  // cycle (values masked by set_input on both sides).
+  Rng rng(seed);
+  std::vector<std::uint64_t> stim(static_cast<std::size_t>(cycles) * ins.size() * lanes);
+  for (std::uint64_t& v : stim) v = rng();
+  const auto stim_at = [&](int cycle, std::size_t in, std::size_t lane) {
+    return stim[(static_cast<std::size_t>(cycle) * ins.size() + in) * lanes + lane];
+  };
+
+  // Compiled pass: record every output, pre-edge (after inputs settle) and
+  // post-edge (after step, before the next cycle's inputs).
+  CompiledSim cs(netlist);
+  std::vector<int> in_idx(ins.size());
+  std::vector<int> out_idx(outs.size());
+  for (std::size_t i = 0; i < ins.size(); ++i) in_idx[i] = cs.input_index(ins[i]->name);
+  for (std::size_t i = 0; i < outs.size(); ++i) out_idx[i] = cs.output_index(outs[i]->name);
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(cycles) * outs.size() * lanes * 2);
+  const auto got_at = [&](int cycle, std::size_t out, std::size_t lane,
+                          int phase) -> std::uint64_t& {
+    return got[((static_cast<std::size_t>(cycle) * outs.size() + out) * lanes + lane) * 2 +
+               static_cast<std::size_t>(phase)];
+  };
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      cs.set_inputs(in_idx[i],
+                    std::span<const std::uint64_t>(
+                        &stim[(static_cast<std::size_t>(cycle) * ins.size() + i) * lanes],
+                        lanes));
+    }
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      for (std::size_t l = 0; l < lanes; ++l) got_at(cycle, o, l, 0) = cs.get_output(out_idx[o], l);
+    }
+    cs.step();
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      for (std::size_t l = 0; l < lanes; ++l) got_at(cycle, o, l, 1) = cs.get_output(out_idx[o], l);
+    }
+  }
+
+  // Interpreter oracle: replay each requested lane's trajectory.
+  std::vector<int> check(lanes_to_check.begin(), lanes_to_check.end());
+  if (check.empty()) {
+    for (std::size_t l = 0; l < lanes; ++l) check.push_back(static_cast<int>(l));
+  }
+  for (const int lane : check) {
+    Simulator sim(netlist);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        sim.set_input(ins[i]->name, stim_at(cycle, i, static_cast<std::size_t>(lane)));
+      }
+      for (int phase = 0; phase < 2; ++phase) {
+        if (phase == 1) sim.step();
+        for (std::size_t o = 0; o < outs.size(); ++o) {
+          const std::uint64_t want = sim.get_output(outs[o]->name);
+          const std::uint64_t have =
+              got_at(cycle, o, static_cast<std::size_t>(lane), phase);
+          if (want != have) {
+            return "divergence in '" + netlist.name() + "': cycle " +
+                   std::to_string(cycle) + (phase == 0 ? " pre-edge" : " post-edge") +
+                   ", port '" + outs[o]->name + "', lane " + std::to_string(lane) +
+                   ": interpreter " + std::to_string(want) + ", compiled " +
+                   std::to_string(have);
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace fpgasim

@@ -1,0 +1,208 @@
+// Compiled levelized bit-parallel simulator.
+//
+// Where sim/simulator.h interprets the netlist cell-by-cell (one test
+// vector at a time, per-eval pin resolution, std::deque sequential state),
+// CompiledSim compiles a Netlist ONCE into a flat execution plan and then
+// evaluates kLanes (64) independent test vectors per pass:
+//
+//   - the combinational fabric becomes a topologically *levelized*
+//     schedule of fixed-size ops with pre-resolved input/output state
+//     slots (no per-eval std::min, no branching on inputs.size(), no
+//     name lookups);
+//   - every net's value lives in one contiguous 64-wide word group of a
+//     single flat array (lane-major: slot = net * kLanes + lane), so each
+//     op kernel is a tight 64-iteration loop the compiler vectorizes;
+//   - sequential state (FF/SRL pipes, DSP pipeline stages, BRAM
+//     memories) is packed into flat arrays laid out at compile time —
+//     read-only BRAMs (ROMs) keep a single lane-shared copy;
+//   - constant cells are folded into the initial state and dropped from
+//     the schedule.
+//
+// Semantics are pinned by the sim/eval.h contract; the interpreter stays
+// the A/B oracle (see compare_compiled_vs_interpreter and
+// tests/test_sim_compiled.cpp). Evaluation is single-threaded and
+// deterministic: identical results at any FPGASIM_THREADS width.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fpgasim {
+
+class CompiledSim {
+ public:
+  /// Number of independent test vectors evaluated per pass.
+  static constexpr std::size_t kLanes = 64;
+
+  /// Compiles the netlist. Throws std::runtime_error on combinational
+  /// loops (same contract as the interpreter).
+  explicit CompiledSim(const Netlist& netlist);
+
+  // -- port resolution (do once, drive by index) ----------------------------
+  /// Index for set_inputs(); throws when `name` is not an input port.
+  int input_index(const std::string& name) const;
+  /// Index for get_outputs(); throws when `name` is not an output port.
+  int output_index(const std::string& name) const;
+
+  // -- batch driver API -----------------------------------------------------
+  /// Drives an input port: lanes[l] becomes the port value of test vector
+  /// l (masked to the port width). Fewer than kLanes entries leave the
+  /// remaining lanes unchanged.
+  void set_inputs(int input, std::span<const std::uint64_t> lanes);
+  void set_inputs(const std::string& name, std::span<const std::uint64_t> lanes) {
+    set_inputs(input_index(name), lanes);
+  }
+  /// Broadcasts one value to every lane of an input port.
+  void set_inputs(int input, std::uint64_t value_all_lanes);
+
+  /// Advances one clock cycle for all lanes: settle -> capture -> commit
+  /// -> settle, the same two-phase edge as Simulator::step().
+  void step();
+  void run(int n) {
+    for (int i = 0; i < n; ++i) step();
+  }
+
+  /// Reads an output port into lanes[0..min(size, kLanes)).
+  void get_outputs(int output, std::span<std::uint64_t> lanes) const;
+  void get_outputs(const std::string& name, std::span<std::uint64_t> lanes) const {
+    get_outputs(output_index(name), lanes);
+  }
+  std::uint64_t get_output(int output, std::size_t lane) const;
+
+  /// Raw net value of one lane (debug / white-box tests).
+  std::uint64_t peek_net(NetId net, std::size_t lane) const;
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  // -- compiled-plan statistics --------------------------------------------
+  std::size_t comb_ops() const { return ops_.size(); }
+  std::size_t seq_ops() const { return seq_.size(); }
+  /// Number of levels in the levelized schedule (independent cells share
+  /// a level; the schedule runs levels in order).
+  std::size_t levels() const { return level_begin_.empty() ? 0 : level_begin_.size() - 1; }
+  /// Total elements of packed state (net values + pipes + memories).
+  std::size_t state_words() const {
+    return state32_.size() + state64_.size() + pipe32_.size() + pipe64_.size() +
+           mem32_.size() + mem64_.size();
+  }
+  /// Bytes per lane element: 4 when the whole design fits 32-bit lanes.
+  std::size_t lane_bytes() const { return narrow_ ? 4 : 8; }
+
+ private:
+  // Compiled combinational opcode: CellType x LutOp flattened, constants
+  // folded out. kCopy duplicates a value to an extra output pin.
+  enum class Op : std::uint8_t {
+    kAnd, kOr, kXor, kNot, kMux2, kEq, kLtU, kPass, kTruth6,
+    kAdd, kSub, kMax, kRelu, kDsp,
+  };
+
+  struct CombOp {
+    Op op = Op::kPass;
+    std::uint16_t width = 1;
+    std::uint32_t a = 0, b = 0, c = 0;  // input slot bases (kZeroSlot when absent)
+    std::uint32_t out = 0;              // output slot base
+    std::uint64_t mask = ~0ULL;         // precomputed mask_width(., width)
+    std::uint64_t init = 0;             // truth table / DSP shift
+    std::uint32_t fan_begin = 0, fan_count = 0;  // extra output slot bases
+    std::uint32_t in_begin = 0, in_count = 0;    // kTruth6 input slot bases
+  };
+
+  // Sequential plan entry. Every kind owns a pipe of `depth` 64-wide
+  // groups in pipe_state_, addressed as a ring: logical slot s (0 =
+  // newest, depth-1 = the visible tail) lives at physical slot
+  // (seq_head_[i] + s) % depth, so an all-lanes-enabled commit is O(1)
+  // like the interpreter's deque rotate instead of an O(depth) shift.
+  // kBram additionally owns a memory region in mem_state_.
+  struct SeqOp {
+    CellType type = CellType::kFf;
+    bool has_ce = false;
+    bool has_we = false;
+    bool mem_shared = false;  // ROM without write port: one lane-shared copy
+    std::uint16_t width = 1;
+    std::uint32_t d = 0;      // capture slot base (FF/SRL d, DSP hidden MAC slot)
+    std::uint32_t ce = 0;
+    std::uint32_t capture = 0;  // kDsp: index into dsp_capture_
+    std::uint32_t waddr = 0, wdata = 0, we = 0, raddr = 0;  // kBram
+    std::uint32_t pipe_base = 0, depth = 1;
+    std::uint32_t mem_base = 0, mem_depth = 0;
+    std::uint64_t mask = ~0ULL;
+    std::uint32_t fan_begin = 0, fan_count = 0;  // ALL connected output slot bases
+  };
+
+  struct PortPlan {
+    std::string name;
+    std::uint32_t slot = 0;  // net slot base
+    std::uint16_t width = 1;
+  };
+
+  void settle() const;  // one levelized sweep over all 64 lanes
+  // Outside of step(), state only goes stale through set_inputs(), and the
+  // post-edge settle keeps everything else current — so the lazy re-settle
+  // only has to run the ops downstream of input ports (cone_ops_), not the
+  // whole fabric.
+  void settle_if_dirty() const;
+  // The evaluation core is templated on the lane word: when every cell
+  // and port fits 32 bits (the CNN accelerators do — Q8.8 datapaths with
+  // 24-bit accumulators), lanes are stored as uint32_t, halving the
+  // memory traffic of the lane-major arrays and doubling the lanes per
+  // vector register. Wide or unknown designs use the general uint64_t
+  // engine. The choice is made once at compile time from the netlist;
+  // the public API always speaks uint64_t and converts at the port
+  // boundary. DSP MACs always use 64-bit intermediates (exact for any
+  // operand width the narrow engine admits).
+  template <typename W> void init_state(const Netlist& netlist, std::size_t state_elems,
+                                        std::size_t pipe_elems, std::size_t mem_elems,
+                                        std::size_t ring_elems);
+  template <typename W> void settle_impl(const std::vector<CombOp>& ops) const;
+  template <typename W> void step_impl();
+  template <typename W> void eval_op(const CombOp& op) const;
+  template <typename W> std::vector<W>& state_vec() const;
+  template <typename W> std::vector<W>& pipe_vec();
+  template <typename W> std::vector<W>& mem_vec();
+  template <typename W> std::vector<W>& next_vec();
+  template <typename W> std::vector<W>& ring_vec();
+
+  std::vector<CombOp> ops_;            // levelized order
+  std::vector<std::size_t> level_begin_;  // ops_ index of each level + end sentinel
+  std::vector<CombOp> cone_ops_;       // ops downstream of input ports, in ops_ order
+  std::vector<CombOp> dsp_capture_;    // per-edge MAC captures (not in settle)
+  std::vector<SeqOp> seq_;
+  std::vector<std::uint32_t> fanout_;  // extra/all output slot bases
+  std::vector<std::uint32_t> truth_inputs_;
+
+  // Lane state, (net_count + hidden + 1) * kLanes elements; exactly one
+  // of each 32/64 pair is allocated, chosen by narrow_. Logically
+  // const-observable: reads settle pending input changes first.
+  mutable std::vector<std::uint32_t> state32_;
+  mutable std::vector<std::uint64_t> state64_;
+  mutable bool dirty_ = false;
+  bool narrow_ = false;
+  std::vector<std::uint32_t> pipe32_, mem32_, next32_, ring32_;
+  std::vector<std::uint64_t> pipe64_, mem64_, next64_, ring64_;
+  std::vector<std::uint32_t> seq_head_;  // ring head (physical slot of logical 0)
+  std::vector<std::uint64_t> seq_en_;    // phase-1 enable bitmasks (bit = lane)
+
+  std::vector<PortPlan> inputs_;
+  std::vector<PortPlan> outputs_;
+
+  std::size_t net_count_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::string name_;
+};
+
+/// A/B oracle check. Drives `netlist` through the compiled simulator with
+/// `cycles` cycles of seeded random stimulus (kLanes independent vectors,
+/// every input port re-randomized each cycle), then replays each lane in
+/// `lanes_to_check` (empty = all lanes) through the interpreter and
+/// compares every output port on every cycle, pre- and post-edge.
+/// Returns the empty string when bit-identical, else a description of the
+/// first divergence.
+std::string compare_compiled_vs_interpreter(const Netlist& netlist, int cycles,
+                                            std::uint64_t seed,
+                                            std::span<const int> lanes_to_check = {});
+
+}  // namespace fpgasim

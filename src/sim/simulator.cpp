@@ -10,18 +10,9 @@
 namespace fpgasim {
 namespace {
 
-bool is_sequential(const Cell& cell) {
-  switch (cell.type) {
-    case CellType::kFf:
-    case CellType::kSrl:
-    case CellType::kBram:
-      return true;
-    case CellType::kDsp:
-      return cell.stages > 0;
-    default:
-      return false;
-  }
-}
+// The interpreter and the compiled simulator must agree on what counts as
+// clocked state; the shared predicate lives in the sim/eval.h contract.
+bool is_sequential(const Cell& cell) { return is_sequential_cell(cell); }
 
 }  // namespace
 
@@ -48,10 +39,7 @@ Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
       pipes_.emplace_back(1, 0);
     } else {
       state_index_[c] = static_cast<std::int32_t>(pipes_.size());
-      std::size_t depth = 1;
-      if (cell.type == CellType::kSrl) depth = cell.depth;
-      if (cell.type == CellType::kDsp) depth = cell.stages;
-      pipes_.emplace_back(std::max<std::size_t>(1, depth), 0);
+      pipes_.emplace_back(seq_pipe_depth(cell), 0);
     }
   }
 
@@ -108,12 +96,18 @@ std::uint64_t Simulator::eval_cell(CellId cell_id) const {
   return eval_comb_cell(cell, pins, n);
 }
 
-void Simulator::settle() {
+void Simulator::settle() const {
   for (CellId c : comb_order_) {
     const Cell& cell = netlist_.cell(c);
-    if (cell.outputs.empty() || cell.outputs[0] == kInvalidNet) continue;
-    values_[cell.outputs[0]] = eval_cell(c);
+    if (cell.outputs.empty()) continue;
+    const std::uint64_t v = eval_cell(c);
+    // One evaluated value fanned out to every connected output pin.
+    for (NetId out : cell.outputs) {
+      if (out != kInvalidNet) values_[out] = v;
+    }
   }
+  dirty_ = false;
+  ++settles_;
 }
 
 void Simulator::set_input(const std::string& port_name, std::uint64_t value) {
@@ -121,8 +115,11 @@ void Simulator::set_input(const std::string& port_name, std::uint64_t value) {
   if (port == nullptr || port->dir != PortDir::kInput) {
     throw std::runtime_error("simulator: no input port '" + port_name + "'");
   }
-  values_[port->net] = mask_width(value, port->width);
-  settle();
+  const std::uint64_t masked = mask_width(value, port->width);
+  if (values_[port->net] != masked) {
+    values_[port->net] = masked;
+    dirty_ = true;  // settled lazily on the next observation or step()
+  }
 }
 
 std::uint64_t Simulator::get_output(const std::string& port_name) const {
@@ -130,10 +127,12 @@ std::uint64_t Simulator::get_output(const std::string& port_name) const {
   if (port == nullptr || port->dir != PortDir::kOutput) {
     throw std::runtime_error("simulator: no output port '" + port_name + "'");
   }
+  settle_if_dirty();
   return values_[port->net];
 }
 
 void Simulator::step() {
+  settle_if_dirty();  // phase 1 must read a settled fabric
   // Phase 1: capture next states from the settled fabric.
   std::vector<std::uint64_t> next(seq_cells_.size(), 0);
   std::vector<bool> enabled(seq_cells_.size(), true);
@@ -178,8 +177,8 @@ void Simulator::step() {
       pipe.push_front(next[i]);
       pipe.pop_back();
     }
-    if (!cell.outputs.empty() && cell.outputs[0] != kInvalidNet) {
-      values_[cell.outputs[0]] = pipe.back();
+    for (NetId out : cell.outputs) {
+      if (out != kInvalidNet) values_[out] = pipe.back();
     }
   }
 

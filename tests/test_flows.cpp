@@ -109,6 +109,37 @@ TEST(Flows, MonolithicBaselineCompletesAndIsSlower) {
   EXPECT_EQ(mono.stats.resources.dsp, pre.stats.resources.dsp);
 }
 
+TEST(Flows, CompiledVerifyGatePassesInBothFlows) {
+  MiniFlow f;
+
+  PreImplOptions pre_opt;
+  pre_opt.compiled_verify = true;
+  pre_opt.compiled_verify_cycles = 16;
+  ComposedDesign composed;
+  const PreImplReport pre =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed, pre_opt);
+  EXPECT_TRUE(pre.compiled_verify_ok);
+  EXPECT_GT(pre.compiled_verify_seconds, 0.0);
+
+  Netlist flat = build_flat_netlist(f.model, f.impl, f.groups);
+  PhysState phys;
+  MonoOptions mono_opt;
+  mono_opt.compiled_verify = true;
+  mono_opt.compiled_verify_cycles = 16;
+  const MonoReport mono = run_monolithic_flow(f.device, flat, phys, mono_opt);
+  EXPECT_TRUE(mono.compiled_verify_ok);
+  EXPECT_GT(mono.compiled_verify_seconds, 0.0);
+}
+
+TEST(Flows, CompiledVerifyGateDefaultsOff) {
+  MiniFlow f;
+  ComposedDesign composed;
+  const PreImplReport pre =
+      run_preimpl_cnn(f.device, f.model, f.impl, f.groups, f.db, composed);
+  EXPECT_FALSE(pre.compiled_verify_ok);
+  EXPECT_EQ(pre.compiled_verify_seconds, 0.0);
+}
+
 TEST(Flows, ComponentMatchingFailsWithoutDatabase) {
   MiniFlow f;
   CheckpointDb empty;

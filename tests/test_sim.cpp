@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/eval.h"
 #include "sim/fixed.h"
 #include "sim/simulator.h"
 #include "synth/builder.h"
+#include "util/rng.h"
 
 namespace fpgasim {
 namespace {
@@ -257,6 +261,153 @@ TEST_P(MulConstAdd, MatchesArithmetic) {
 
 INSTANTIATE_TEST_SUITE_P(Constants, MulConstAdd,
                          ::testing::Values(0, 1, 2, 3, 5, 28, 64, 196, 784, 1024));
+
+TEST(Simulator, MultiOutputCombCellDrivesEveryOutput) {
+  // Regression: settle() used to write only outputs[0], so any further
+  // output pin of a multi-output cell stayed stuck at 0 forever (the
+  // simulator sibling of the STA multi-output bug). Semantics: every
+  // connected output pin carries the cell's single evaluated value.
+  Netlist nl("mo");
+  const NetId a = nl.add_net(8, "a");
+  nl.add_port({"a", PortDir::kInput, 8, a});
+  const NetId q0 = nl.add_net(8, "q0");
+  const NetId q1 = nl.add_net(8, "q1");
+  Cell pass;
+  pass.type = CellType::kLut;
+  pass.op = LutOp::kPass;
+  pass.width = 8;
+  const CellId c = nl.add_cell(std::move(pass));
+  nl.connect_input(c, 0, a);
+  nl.connect_output(c, 0, q0);
+  nl.connect_output(c, 1, q1);
+  nl.add_port({"q0", PortDir::kOutput, 8, q0});
+  nl.add_port({"q1", PortDir::kOutput, 8, q1});
+  ASSERT_TRUE(nl.validate().empty());
+
+  Simulator sim(nl);
+  sim.set_input("a", 0x5c);
+  EXPECT_EQ(sim.get_output("q0"), 0x5cu);
+  EXPECT_EQ(sim.get_output("q1"), 0x5cu);  // was stuck at 0
+}
+
+TEST(Simulator, MultiOutputSequentialCellDrivesEveryOutput) {
+  // step() phase 2 had the same outputs[0]-only commit for FF/SRL/BRAM/DSP.
+  Netlist nl("mos");
+  const NetId d = nl.add_net(8, "d");
+  nl.add_port({"d", PortDir::kInput, 8, d});
+  const NetId q0 = nl.add_net(8, "q0");
+  const NetId q1 = nl.add_net(8, "q1");
+  Cell ff;
+  ff.type = CellType::kFf;
+  ff.width = 8;
+  const CellId c = nl.add_cell(std::move(ff));
+  nl.connect_input(c, 0, d);
+  nl.connect_output(c, 0, q0);
+  nl.connect_output(c, 1, q1);
+  nl.add_port({"q0", PortDir::kOutput, 8, q0});
+  nl.add_port({"q1", PortDir::kOutput, 8, q1});
+  ASSERT_TRUE(nl.validate().empty());
+
+  Simulator sim(nl);
+  sim.set_input("d", 99);
+  sim.step();
+  EXPECT_EQ(sim.get_output("q0"), 99u);
+  EXPECT_EQ(sim.get_output("q1"), 99u);  // was stuck at 0
+}
+
+TEST(Simulator, SetInputSettlesLazily) {
+  // Regression: set_input() used to re-settle the whole combinational
+  // fabric on every call, so driving a k-port interface cost O(k * cells)
+  // per cycle. Settling is now deferred to the first observation.
+  NetlistBuilder b("lazy");
+  const NetId a = b.in_port("a", 16);
+  const NetId c = b.in_port("b", 16);
+  const NetId s = b.in_port("sel", 1);
+  b.out_port("q", b.mux2(b.add(a, c, 16), b.sub(a, c, 16), s, 16));
+  const Netlist nl = std::move(b).take();
+  Simulator sim(nl);
+  const std::size_t settles_before = sim.settles();
+  for (int i = 0; i < 100; ++i) sim.set_input("a", static_cast<std::uint64_t>(i));
+  sim.set_input("b", 7);
+  sim.set_input("sel", 0);
+  // 102 set_input calls, no observation yet: not a single settle.
+  EXPECT_EQ(sim.settles(), settles_before);
+  EXPECT_EQ(sim.get_output("q"), 106u);  // settled exactly once, on read
+  EXPECT_EQ(sim.settles(), settles_before + 1);
+  EXPECT_EQ(sim.get_output("q"), 106u);  // clean: no re-settle
+  EXPECT_EQ(sim.settles(), settles_before + 1);
+  sim.set_input("sel", 1);
+  EXPECT_EQ(sim.get_output("q"), 92u);  // observable semantics unchanged
+}
+
+TEST(Simulator, LazySettleTraceMatchesStepByStepObservation) {
+  // The lazy path must produce the identical trace whether outputs are
+  // observed every cycle (forcing a settle each time, as the eager
+  // simulator did) or only at the end.
+  const auto build = [] {
+    NetlistBuilder b("trace");
+    const NetId d = b.in_port("d", 8);
+    const NetId en = b.in_port("en", 1);
+    b.out_port("acc", b.accum(d, en, b.zero(1), 8));
+    b.out_port("dly", b.srl(d, kInvalidNet, 3, 8));
+    return std::move(b).take();
+  };
+  const Netlist nl_a = build();
+  const Netlist nl_b = build();
+  Simulator observed(nl_a);
+  Simulator lazy(nl_b);
+  std::vector<std::uint64_t> trace;
+  Rng rng(404);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const std::uint64_t d = rng.next_below(256);
+    const std::uint64_t en = rng.next_below(2);
+    observed.set_input("d", d);
+    observed.set_input("en", en);
+    trace.push_back(observed.get_output("acc"));  // observe pre-edge
+    observed.step();
+    trace.push_back(observed.get_output("acc"));
+    trace.push_back(observed.get_output("dly"));
+
+    lazy.set_input("d", d);
+    lazy.set_input("en", en);
+    EXPECT_EQ(lazy.get_output("acc"), trace[trace.size() - 3]) << "cycle " << cycle;
+    lazy.step();
+  }
+  // Final state identical even though `lazy` was only observed pre-edge.
+  EXPECT_EQ(lazy.get_output("acc"), trace[trace.size() - 2]);
+  EXPECT_EQ(lazy.get_output("dly"), trace.back());
+}
+
+TEST(Simulator, ClampSignedIsDefinedAtWideWidths) {
+  // Regression: clamp_signed computed 1LL << 63 at width 64 (UB, caught by
+  // UBSan) and its `lo` negation overflowed. Widths >= 64 saturate to the
+  // full int64 range, i.e. pass through.
+  using sim_detail::clamp_signed;
+  EXPECT_EQ(clamp_signed(0, 64), 0);
+  EXPECT_EQ(clamp_signed(INT64_MAX, 64), INT64_MAX);
+  EXPECT_EQ(clamp_signed(INT64_MIN, 64), INT64_MIN);
+  const std::int64_t hi63 = (1LL << 62) - 1;
+  EXPECT_EQ(clamp_signed(INT64_MAX, 63), hi63);
+  EXPECT_EQ(clamp_signed(INT64_MIN, 63), -hi63 - 1);
+  EXPECT_EQ(clamp_signed(-5, 63), -5);
+  EXPECT_EQ(clamp_signed(127, 8), 127);
+  EXPECT_EQ(clamp_signed(128, 8), 127);
+  EXPECT_EQ(clamp_signed(-129, 8), -128);
+}
+
+TEST(Simulator, DspAtWidth63And64IsDefined) {
+  for (const std::uint16_t width : {std::uint16_t{63}, std::uint16_t{64}}) {
+    NetlistBuilder b("dw");
+    const NetId a = b.in_port("a", width);
+    const NetId c = b.in_port("b", width);
+    b.out_port("p", b.dsp(a, c, kInvalidNet, 0, 0, width));
+    const Netlist nl = std::move(b).take();
+    Simulator sim(nl);
+    sim.set_input("a", 3);
+    sim.set_input("b", 5);
+    EXPECT_EQ(sim.get_output("p"), 15u) << "width " << width;
+  }
+}
 
 TEST(Simulator, DetectsCombinationalLoop) {
   Netlist nl("loop");

@@ -198,25 +198,22 @@ std::string group_signature(const CnnModel& model, const ModelImpl& impl,
   return os.str();
 }
 
-std::size_t prepare_component_db(const Device& device, const CnnModel& model,
-                                 const ModelImpl& impl,
-                                 const std::vector<std::vector<int>>& groups,
-                                 CheckpointDb& db, const OocOptions& ooc,
-                                 std::uint64_t seed_base, ThreadPool* pool,
-                                 DbBuildReport* report) {
-  // Deduplicate signatures first: replicated layers are implemented once.
-  std::vector<std::string> missing_keys;
-  std::vector<const std::vector<int>*> missing_groups;
-  std::vector<int> missing_fork_branches;  // aligned; 0 = group component
+std::vector<ComponentRequest> component_requests(const CnnModel& model,
+                                                 const ModelImpl& impl,
+                                                 const std::vector<std::vector<int>>& groups,
+                                                 std::uint64_t seed_base) {
+  // Deduplicate signatures: replicated layers collapse to one request.
+  std::vector<ComponentRequest> requests;
+  const auto queued = [&requests](const std::string& key) {
+    for (const ComponentRequest& other : requests) {
+      if (other.key == key) return true;
+    }
+    return false;
+  };
   for (const auto& group : groups) {
     std::string key = group_signature(model, impl, group, seed_base);
-    if (db.contains(key)) continue;
-    bool queued = false;
-    for (const std::string& other : missing_keys) queued |= (other == key);
-    if (queued) continue;
-    missing_keys.push_back(std::move(key));
-    missing_groups.push_back(&group);
-    missing_fork_branches.push_back(0);
+    if (queued(key)) continue;
+    requests.push_back(ComponentRequest{std::move(key), &group, 0});
   }
   // Branching models additionally need the stream forks of the group DAG;
   // they are appended after the group keys so chain databases keep their
@@ -226,14 +223,35 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
     for (int fanout : graph.fanout) {
       if (fanout <= 1) continue;
       std::string key = fork_signature(fanout);
-      if (db.contains(key)) continue;
-      bool queued = false;
-      for (const std::string& other : missing_keys) queued |= (other == key);
-      if (queued) continue;
-      missing_keys.push_back(std::move(key));
-      missing_groups.push_back(nullptr);
-      missing_fork_branches.push_back(fanout);
+      if (queued(key)) continue;
+      requests.push_back(ComponentRequest{std::move(key), nullptr, fanout});
     }
+  }
+  return requests;
+}
+
+Netlist build_component_netlist(const CnnModel& model, const ModelImpl& impl,
+                                const ComponentRequest& request,
+                                std::uint64_t seed_base) {
+  if (request.fork_branches > 0) {
+    return make_stream_fork(request.key, request.fork_branches);
+  }
+  if (request.group == nullptr) {
+    throw std::invalid_argument("build_component_netlist: request '" + request.key +
+                                "' has neither a group nor fork branches");
+  }
+  return build_group_netlist(model, impl, *request.group, seed_base);
+}
+
+std::size_t prepare_component_db(const Device& device, const CnnModel& model,
+                                 const ModelImpl& impl,
+                                 const std::vector<std::vector<int>>& groups,
+                                 CheckpointDb& db, const OocOptions& ooc,
+                                 std::uint64_t seed_base, ThreadPool* pool,
+                                 DbBuildReport* report) {
+  std::vector<ComponentRequest> missing;
+  for (ComponentRequest& request : component_requests(model, impl, groups, seed_base)) {
+    if (!db.contains(request.key)) missing.push_back(std::move(request));
   }
 
   // Function optimization is embarrassingly parallel across components.
@@ -244,30 +262,27 @@ std::size_t prepare_component_db(const Device& device, const CnnModel& model,
   CpuStopwatch cpu;
   std::mutex db_mutex;
   parallel_for(
-      0, missing_keys.size(),
+      0, missing.size(),
       [&](std::size_t i) {
-        Netlist netlist =
-            missing_fork_branches[i] > 0
-                ? make_stream_fork(missing_keys[i], missing_fork_branches[i])
-                : build_group_netlist(model, impl, *missing_groups[i], seed_base);
+        Netlist netlist = build_component_netlist(model, impl, missing[i], seed_base);
         OocOptions local = ooc;
         local.seed = ooc.seed + i * 131;
         OocResult result = implement_ooc(device, std::move(netlist), local);
         // Gate every freshly implemented component on a full checkpoint DRC
         // before it becomes reusable database content.
         enforce_drc(run_checkpoint_drc(result.checkpoint, &device),
-                    "prepare_component_db '" + missing_keys[i] + "'");
+                    "prepare_component_db '" + missing[i].key + "'");
         std::lock_guard<std::mutex> lock(db_mutex);
-        db.put(missing_keys[i], std::move(result.checkpoint));
+        db.put(missing[i].key, std::move(result.checkpoint));
       },
       pool);
   if (report != nullptr) {
-    report->implemented = missing_keys.size();
+    report->implemented = missing.size();
     report->wall_seconds = wall.seconds();
     report->cpu_seconds = cpu.seconds();
     report->threads = pool->size();
   }
-  return missing_keys.size();
+  return missing.size();
 }
 
 Netlist build_flat_netlist(const CnnModel& model, const ModelImpl& impl,

@@ -53,6 +53,33 @@ Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
 std::string group_signature(const CnnModel& model, const ModelImpl& impl,
                             const std::vector<int>& group, std::uint64_t seed_base = 1000);
 
+/// One component a grouping needs from the database/store: either a layer
+/// group (`group` non-null, pointing into the caller's grouping — which
+/// must outlive the request) or a model-independent 1-to-N stream fork.
+/// `key` is the database/store signature (group_signature/fork_signature).
+struct ComponentRequest {
+  std::string key;
+  const std::vector<int>* group = nullptr;
+  int fork_branches = 0;  // > 0 for stream forks
+};
+
+/// Enumerates the unique components `groups` needs, in deterministic
+/// order: group components in grouping order (first occurrence of a
+/// signature wins; replicated layers collapse to one request), then — for
+/// branching models — the stream forks of the group DAG in ascending
+/// source-group order. This is the single source of truth for "what must
+/// exist before the pre-implemented flow can stitch": both
+/// prepare_component_db and the CompileService plan from it.
+std::vector<ComponentRequest> component_requests(const CnnModel& model,
+                                                 const ModelImpl& impl,
+                                                 const std::vector<std::vector<int>>& groups,
+                                                 std::uint64_t seed_base = 1000);
+
+/// Synthesizes the netlist of one request (group or stream fork).
+Netlist build_component_netlist(const CnnModel& model, const ModelImpl& impl,
+                                const ComponentRequest& request,
+                                std::uint64_t seed_base = 1000);
+
 /// Wall/CPU accounting of one prepare_component_db run. CPU-seconds sum
 /// over all workers; wall/cpu diverge exactly when the build parallelizes.
 struct DbBuildReport {

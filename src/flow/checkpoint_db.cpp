@@ -1,9 +1,11 @@
 #include "flow/checkpoint_db.h"
 
+#include <cctype>
 #include <filesystem>
 
 #include "drc/drc.h"
 #include "lint/lint.h"
+#include "util/hash.h"
 
 namespace fpgasim {
 
@@ -41,12 +43,22 @@ std::string sanitize(const std::string& key) {
   return out;
 }
 
+/// Filename stem for a database key. Clean keys map to themselves (the
+/// historical, byte-stable layout); keys that sanitization would mangle
+/// get a content-hash suffix so two distinct keys can never collapse onto
+/// the same file (a collision silently overwrote one checkpoint before).
+std::string key_filename(const std::string& key) {
+  std::string stem = sanitize(key);
+  if (stem != key) stem += "-h" + hash128(key).hex().substr(0, 16);
+  return stem;
+}
+
 }  // namespace
 
 void CheckpointDb::save_dir(const std::string& dir) const {
   std::filesystem::create_directories(dir);
   for (const auto& [key, checkpoint] : entries_) {
-    save_checkpoint(dir + "/" + sanitize(key) + ".fdcp", checkpoint);
+    save_checkpoint(dir + "/" + key_filename(key) + ".fdcp", checkpoint);
   }
 }
 

@@ -29,7 +29,10 @@ class CheckpointDb {
   /// Total offline function-optimization time recorded in the database.
   double total_implement_seconds() const;
 
-  /// Persists every entry as <dir>/<key>.fdcp (key sanitized).
+  /// Persists every entry as <dir>/<key>.fdcp. Keys that are not already
+  /// filename-clean are sanitized and suffixed with a short content hash
+  /// of the original key, keeping the key -> filename mapping injective
+  /// (two distinct keys can never overwrite each other's file).
   void save_dir(const std::string& dir) const;
   /// Loads every *.fdcp in `dir`; returns the number loaded. Every
   /// checkpoint is DRC-gated; with `lint` true it must additionally come

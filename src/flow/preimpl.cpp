@@ -157,6 +157,16 @@ PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
                               const std::vector<std::vector<int>>& groups,
                               const CheckpointDb& db, ComposedDesign& out,
                               const PreImplOptions& opt, std::uint64_t seed_base) {
+  return run_preimpl_cnn(
+      device, model, impl, groups,
+      [&db](const std::string& key) { return db.get(key); }, out, opt, seed_base);
+}
+
+PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
+                              const ModelImpl& impl,
+                              const std::vector<std::vector<int>>& groups,
+                              const ComponentLookup& lookup, ComposedDesign& out,
+                              const PreImplOptions& opt, std::uint64_t seed_base) {
   // Component extraction + matching (BFS over the DFG): every group and
   // every required stream fork must resolve to a pre-built checkpoint.
   const GroupGraph group_graph = build_group_graph(model, groups);
@@ -167,7 +177,7 @@ PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
     if (node.group_index >= 0) {
       const std::vector<int>& group = groups[static_cast<std::size_t>(node.group_index)];
       const std::string key = group_signature(model, impl, group, seed_base);
-      const Checkpoint* checkpoint = db.get(key);
+      const Checkpoint* checkpoint = lookup(key);
       if (checkpoint == nullptr) {
         // Spell out which layers the unmatched group contains: the
         // signature alone is too opaque to act on.
@@ -188,7 +198,7 @@ PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
       graph.names.push_back(checkpoint->netlist.name());
     } else {
       const std::string key = fork_signature(node.branches);
-      const Checkpoint* checkpoint = db.get(key);
+      const Checkpoint* checkpoint = lookup(key);
       if (checkpoint == nullptr) {
         throw std::runtime_error("component matching failed: no checkpoint for the " +
                                  std::to_string(node.branches) + "-way stream fork '" +

@@ -5,6 +5,7 @@
 // routing. Stage wall times feed Fig. 6 (and the 5%/9% stitching share).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,13 @@ PreImplReport run_preimpl_flow(const Device& device,
                                const std::vector<std::string>& instance_names,
                                ComposedDesign& out, const PreImplOptions& opt = {});
 
+/// Component source for run_preimpl_cnn: resolves a database key
+/// (group_signature / fork_signature) to a pre-implemented checkpoint, or
+/// nullptr when no match exists. Returned pointers must stay alive through
+/// the flow (the CheckpointDb overload guarantees this; a CheckpointStore
+/// client pins the shared_ptrs for the session).
+using ComponentLookup = std::function<const Checkpoint*(const std::string& key)>;
+
 /// CNN front end: matches each group (and the stream forks of branching
 /// models) against the database (component matching, BFS over the DFG) and
 /// runs the flow over the resulting component graph.
@@ -117,6 +125,15 @@ PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
                               const ModelImpl& impl,
                               const std::vector<std::vector<int>>& groups,
                               const CheckpointDb& db, ComposedDesign& out,
+                              const PreImplOptions& opt = {},
+                              std::uint64_t seed_base = 1000);
+
+/// Same flow with an arbitrary component source (the CompileService
+/// resolves against the content-addressed CheckpointStore through this).
+PreImplReport run_preimpl_cnn(const Device& device, const CnnModel& model,
+                              const ModelImpl& impl,
+                              const std::vector<std::vector<int>>& groups,
+                              const ComponentLookup& lookup, ComposedDesign& out,
                               const PreImplOptions& opt = {},
                               std::uint64_t seed_base = 1000);
 

@@ -1,0 +1,76 @@
+// Stable content hashing for the checkpoint store: a streaming 128-bit
+// hash (two independent FNV-1a-style lanes, splitmix-finalized) over the
+// component identity (kind + params + seed + fabric signature). The value
+// is part of the on-disk format — entry filenames are the hex digest — so
+// the byte-for-byte definition here must never change once databases
+// exist; bump the store's layout version instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fpgasim {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex characters, hi lane first.
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    for (int i = 0; i < 16; ++i) out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+    return out;
+  }
+};
+
+/// Streaming hasher. Deterministic across platforms: input is consumed
+/// byte-wise, multi-byte integers are fed little-endian through u64().
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h1_ = (h1_ ^ p[i]) * kPrime1;
+      h2_ = (h2_ ^ p[i]) * kPrime2;
+    }
+    return *this;
+  }
+  /// Length-prefixed so ("ab","c") never collides with ("a","bc").
+  Hasher& str(const std::string& s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  Hasher& u64(std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(buf, sizeof(buf));
+  }
+
+  Hash128 digest() const { return Hash128{finalize(h1_), finalize(h2_ ^ h1_)}; }
+
+ private:
+  static constexpr std::uint64_t kPrime1 = 0x100000001b3ULL;   // FNV-1a 64 prime
+  static constexpr std::uint64_t kPrime2 = 0x9e3779b97f4a7c15ULL | 1;
+
+  static std::uint64_t finalize(std::uint64_t z) {  // splitmix64 finalizer
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t h1_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  std::uint64_t h2_ = 0x6a09e667f3bcc908ULL;  // sqrt(2) fractional bits
+};
+
+/// One-shot convenience over a string.
+inline Hash128 hash128(const std::string& s) { return Hasher().str(s).digest(); }
+
+}  // namespace fpgasim

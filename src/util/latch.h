@@ -1,0 +1,48 @@
+// Small synchronization helpers for multi-session harnesses: a one-shot
+// countdown latch (align N session threads on a common start line so a
+// throughput measurement times steady-state concurrency, not thread
+// spawn skew). Kept dependency-free; semantics follow std::latch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace fpgasim {
+
+class Latch {
+ public:
+  explicit Latch(std::ptrdiff_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the counter; at zero, releases every waiter.
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the counter reaches zero.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  /// count_down() + wait(): the usual "everyone ready, go" barrier.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::ptrdiff_t count_;
+};
+
+}  // namespace fpgasim

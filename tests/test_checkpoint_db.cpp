@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -143,6 +144,47 @@ TEST(CheckpointDb, SanitizesKeysForFilenames) {
     ++files;
   }
   EXPECT_EQ(files, 1u);
+}
+
+TEST(CheckpointDb, DistinctKeysNeverShareAFilename) {
+  // Regression: "conv/a" and "conv:a" both sanitize to "conv_a"; the old
+  // key -> filename mapping silently overwrote the first checkpoint with
+  // the second. The hash suffix keeps the mapping injective.
+  const std::string dir = testing::TempDir() + "/fdcp_collide";
+  std::filesystem::remove_all(dir);
+  CheckpointDb db;
+  db.put("conv/a", tiny_checkpoint("slash", 100, 1.0));
+  db.put("conv:a", tiny_checkpoint("colon", 200, 2.0));
+  db.save_dir(dir);
+
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".fdcp");
+    ++files;
+  }
+  EXPECT_EQ(files, 2u) << "colliding sanitized keys must map to distinct files";
+
+  CheckpointDb restored;
+  EXPECT_EQ(restored.load_dir(dir), 2u);
+  // Both checkpoints survive the round trip (keys become the mangled
+  // stems, but no content is lost).
+  std::vector<std::string> names;
+  for (const std::string& key : restored.keys()) {
+    names.push_back(restored.get(key)->netlist.name());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"colon", "slash"}));
+}
+
+TEST(CheckpointDb, CleanKeyFilenamesStayStable) {
+  // Filename-clean keys (every real group/fork signature) keep their
+  // historical "<key>.fdcp" layout: no hash suffix, byte-stable on disk.
+  const std::string dir = testing::TempDir() + "/fdcp_clean";
+  std::filesystem::remove_all(dir);
+  CheckpointDb db;
+  db.put("conv_i1x4x4_o2_k3", tiny_checkpoint("conv", 420, 3.0));
+  db.save_dir(dir);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/conv_i1x4x4_o2_k3.fdcp"));
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cnn/registry.h"
+
 namespace fpgasim {
 namespace {
 
@@ -26,25 +28,26 @@ ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_
 
   for (std::size_t i = 0; i < model.layers().size(); ++i) {
     const Layer& layer = model.layers()[i];
+    const LayerTraits& traits = layer_traits(layer.kind);
     LayerImpl& li = impl.layers[i];
     // Any spatial layer with a feature map too large for on-chip banks is
     // processed in tiles (the CLE sweeps the image tile by tile).
-    if ((layer.kind == LayerKind::kConv || layer.kind == LayerKind::kPool) &&
+    if (traits.tile != TilePolicy::kNone &&
         (layer.in_shape.h > max_tile || layer.in_shape.w > max_tile)) {
       li.tile_h = std::min(layer.in_shape.h, max_tile);
       li.tile_w = std::min(layer.in_shape.w, max_tile);
-      if (layer.kind == LayerKind::kPool) {
+      if (traits.tile == TilePolicy::kPoolAligned) {
         li.tile_h -= li.tile_h % layer.kernel;  // tiles must pool evenly
         li.tile_w -= li.tile_w % layer.kernel;
       }
     }
-    if (layer.kind != LayerKind::kConv && layer.kind != LayerKind::kFc) continue;
+    if (!traits.uses_dsp_budget) continue;
 
     const long share = std::max<long>(
         1, static_cast<long>(std::llround(static_cast<double>(dsp_budget) * layer.macs() /
                                           static_cast<double>(total_macs))));
-    const int in_c = layer.kind == LayerKind::kFc ? static_cast<int>(layer.in_shape.volume())
-                                                  : layer.in_shape.c;
+    const int in_c = traits.flatten_input ? static_cast<int>(layer.in_shape.volume())
+                                          : layer.in_shape.c;
     const int out_c = layer.out_c;
 
     // Split the per-layer DSP allowance between input lanes and CU columns,
@@ -73,36 +76,27 @@ std::vector<std::vector<int>> default_grouping(const CnnModel& model) {
   std::vector<int> group_of(layers.size(), -1);
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const Layer& layer = layers[i];
-    switch (layer.kind) {
-      case LayerKind::kInput:
-        break;  // the streamer feeds the first component directly
-      case LayerKind::kConv:
-      case LayerKind::kPool:
-      case LayerKind::kFc:
-      case LayerKind::kAdd:
-      case LayerKind::kConcat:
-        group_of[i] = static_cast<int>(groups.size());
-        groups.push_back({static_cast<int>(i)});
-        break;
-      case LayerKind::kRelu: {
-        // Fused into its producer when that producer has no other consumer
-        // and is the tail of its group (no memory controller between them,
-        // Sec. IV-B1). A relu on a forked edge must stay its own component
-        // so the other branch sees the pre-activation stream.
-        const int pred = layer.input();
-        const int pred_group =
-            pred >= 0 ? group_of[static_cast<std::size_t>(pred)] : -1;
-        if (pred_group != -1 && consumers[static_cast<std::size_t>(pred)] == 1 &&
-            groups[static_cast<std::size_t>(pred_group)].back() == pred) {
-          group_of[i] = pred_group;
-          groups[static_cast<std::size_t>(pred_group)].push_back(static_cast<int>(i));
-        } else {
-          group_of[i] = static_cast<int>(groups.size());
-          groups.push_back({static_cast<int>(i)});
-        }
-        break;
+    const LayerTraits& traits = layer_traits(layer.kind);
+    if (traits.source) continue;  // the streamer feeds the first component directly
+    // A layer fuses into its producer's group when the registry says the
+    // pair composes without a memory controller between them (relu into
+    // anything, pointwise conv into depthwise), the producer has no other
+    // consumer and is the tail of its group (Sec. IV-B1). A fusable layer
+    // on a forked edge must stay its own component so the other branch
+    // sees the un-fused stream.
+    if (traits.fuses_into != nullptr && layer.inputs.size() == 1) {
+      const int pred = layer.input();
+      const int pred_group = pred >= 0 ? group_of[static_cast<std::size_t>(pred)] : -1;
+      if (pred_group != -1 && consumers[static_cast<std::size_t>(pred)] == 1 &&
+          groups[static_cast<std::size_t>(pred_group)].back() == pred &&
+          traits.fuses_into(layers[static_cast<std::size_t>(pred)], layer)) {
+        group_of[i] = pred_group;
+        groups[static_cast<std::size_t>(pred_group)].push_back(static_cast<int>(i));
+        continue;
       }
     }
+    group_of[i] = static_cast<int>(groups.size());
+    groups.push_back({static_cast<int>(i)});
   }
   return groups;
 }
@@ -139,7 +133,7 @@ GroupGraph build_group_graph(const CnnModel& model,
     for (std::size_t port = 0; port < head.inputs.size(); ++port) {
       const int pred = head.inputs[port];
       const Layer& pred_layer = layers[static_cast<std::size_t>(pred)];
-      if (pred_layer.kind == LayerKind::kInput) {
+      if (layer_traits(pred_layer.kind).source) {
         if (port != 0) {
           throw std::runtime_error("group graph: model input must feed port 0 of '" +
                                    head.name + "'");
@@ -179,47 +173,8 @@ GroupGraph build_group_graph(const CnnModel& model,
 }
 
 LayerCycles layer_cycles(const Layer& layer, const LayerImpl& impl) {
-  LayerCycles cycles;
-  switch (layer.kind) {
-    case LayerKind::kInput:
-      break;
-    case LayerKind::kConv: {
-      cycles.load = layer.in_shape.volume();
-      cycles.compute = static_cast<long>(layer.out_shape.h) * layer.out_shape.w *
-                       layer.kernel * layer.kernel * (layer.in_shape.c / impl.ic_par) *
-                       (layer.out_c / impl.oc_par);
-      cycles.drain = layer.out_shape.volume();
-      break;
-    }
-    case LayerKind::kFc: {
-      cycles.load = layer.in_shape.volume();
-      cycles.compute = layer.in_shape.volume() / impl.ic_par *
-                       (static_cast<long>(layer.out_c) / impl.oc_par);
-      cycles.drain = layer.out_c;
-      break;
-    }
-    case LayerKind::kPool: {
-      cycles.load = layer.in_shape.volume();
-      cycles.compute = layer.out_shape.volume() * layer.kernel * layer.kernel;
-      cycles.drain = layer.out_shape.volume();
-      break;
-    }
-    case LayerKind::kRelu:
-      cycles.compute = layer.in_shape.volume();  // streaming passthrough
-      break;
-    case LayerKind::kAdd:
-      // Buffers one operand, then streams the sum as the others arrive.
-      cycles.load = layer.in_shape.volume();
-      cycles.drain = layer.out_shape.volume();
-      break;
-    case LayerKind::kConcat:
-      // Pure store-and-forward: every input element is written once and
-      // read once, in channel order.
-      cycles.load = layer.out_shape.volume();
-      cycles.drain = layer.out_shape.volume();
-      break;
-  }
-  return cycles;
+  const auto cycles = layer_traits(layer.kind).cycles;
+  return cycles != nullptr ? cycles(layer, impl) : LayerCycles{};
 }
 
 ComponentLatency group_latency(const CnnModel& model, const ModelImpl& impl,

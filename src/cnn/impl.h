@@ -36,12 +36,13 @@ struct ModelImpl {
 ModelImpl choose_implementation(const CnnModel& model, long dsp_budget, int max_tile = 32,
                                 long rom_weight_limit = 70000);
 
-/// Component grouping ("granularity exploration"): each conv and FC layer
-/// becomes a component; a relu is fused into the preceding conv/pool when
-/// that layer has a single consumer (Sec. IV-B1: no memory controller
-/// needed between them); pools and the add/concat joins become components
-/// of their own. Branching DFGs never split a branch across a group
-/// boundary mid-edge.
+/// Component grouping ("granularity exploration"): by default every layer
+/// becomes its own component, except fusions declared in the layer
+/// registry — a relu fuses into any preceding single-consumer group tail
+/// (Sec. IV-B1: no memory controller needed between them) and a 1x1/s1
+/// pointwise conv fuses into a preceding depthwise conv (the MobileNet
+/// dw/pw pair becomes one stitched component). Branching DFGs never split
+/// a branch across a group boundary mid-edge.
 std::vector<std::vector<int>> default_grouping(const CnnModel& model);
 
 // -- group-level data-flow graph --------------------------------------------

@@ -3,52 +3,27 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cnn/registry.h"
 #include "util/rng.h"
 
 namespace fpgasim {
 
-const char* to_string(LayerKind kind) {
-  switch (kind) {
-    case LayerKind::kInput: return "input";
-    case LayerKind::kConv: return "conv";
-    case LayerKind::kPool: return "pool";
-    case LayerKind::kRelu: return "relu";
-    case LayerKind::kFc: return "fc";
-    case LayerKind::kAdd: return "add";
-    case LayerKind::kConcat: return "concat";
-  }
-  return "?";
-}
+const char* to_string(LayerKind kind) { return layer_traits(kind).keyword; }
 
-bool is_join(LayerKind kind) {
-  return kind == LayerKind::kAdd || kind == LayerKind::kConcat;
-}
+bool is_join(LayerKind kind) { return layer_traits(kind).join; }
 
 long Layer::weights() const {
-  switch (kind) {
-    case LayerKind::kConv:
-      return static_cast<long>(out_c) * in_shape.c * kernel * kernel + out_c;
-    case LayerKind::kFc:
-      return static_cast<long>(out_c) * in_shape.volume() + out_c;
-    default:
-      return 0;
-  }
+  const auto count = layer_traits(kind).weight_count;
+  return count != nullptr ? count(*this) : 0;
 }
 
 long Layer::macs() const {
-  switch (kind) {
-    case LayerKind::kConv:
-      return static_cast<long>(out_c) * in_shape.c * kernel * kernel * out_shape.h *
-             out_shape.w;
-    case LayerKind::kFc:
-      return static_cast<long>(out_c) * in_shape.volume();
-    default:
-      return 0;
-  }
+  const auto count = layer_traits(kind).mac_count;
+  return count != nullptr ? count(*this) : 0;
 }
 
 int CnnModel::add(Layer layer) {
-  if (layer.inputs.empty() && layer.kind != LayerKind::kInput && !layers_.empty()) {
+  if (layer.inputs.empty() && !layer_traits(layer.kind).source && !layers_.empty()) {
     layer.inputs = {static_cast<int>(layers_.size()) - 1};
   }
   layers_.push_back(std::move(layer));
@@ -77,7 +52,8 @@ std::vector<int> CnnModel::consumer_counts() const {
 void CnnModel::infer_shapes() {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Layer& layer = layers_[i];
-    if (layer.kind == LayerKind::kInput) {
+    const LayerTraits& traits = layer_traits(layer.kind);
+    if (traits.source) {
       if (!layer.inputs.empty()) {
         throw std::runtime_error("input layer '" + layer.name + "' cannot have inputs");
       }
@@ -95,80 +71,24 @@ void CnnModel::infer_shapes() {
     if (layer.inputs.empty()) {
       throw std::runtime_error("layer '" + layer.name + "' has no valid input edge");
     }
-    if (!is_join(layer.kind) && layer.inputs.size() != 1) {
-      throw std::runtime_error("layer '" + layer.name + "' (" + to_string(layer.kind) +
+    if (!traits.join && layer.inputs.size() != 1) {
+      throw std::runtime_error("layer '" + layer.name + "' (" + traits.keyword +
                                ") takes exactly one input");
     }
     layer.in_shape = layers_[static_cast<std::size_t>(layer.inputs[0])].out_shape;
-    switch (layer.kind) {
-      case LayerKind::kConv: {
-        const int oh = (layer.in_shape.h - layer.kernel) / layer.stride + 1;
-        const int ow = (layer.in_shape.w - layer.kernel) / layer.stride + 1;
-        if (oh <= 0 || ow <= 0) {
-          throw std::runtime_error("conv '" + layer.name + "' kernel larger than input");
-        }
-        layer.out_shape = Shape{layer.out_c, oh, ow};
-        break;
-      }
-      case LayerKind::kPool: {
-        if (layer.kernel <= 0 || layer.in_shape.h % layer.kernel != 0 ||
-            layer.in_shape.w % layer.kernel != 0) {
-          throw std::runtime_error("pool '" + layer.name + "' does not tile its input");
-        }
-        layer.out_shape = Shape{layer.in_shape.c, layer.in_shape.h / layer.kernel,
-                                layer.in_shape.w / layer.kernel};
-        break;
-      }
-      case LayerKind::kRelu:
-        layer.out_shape = layer.in_shape;
-        break;
-      case LayerKind::kFc:
-        layer.out_shape = Shape{layer.out_c, 1, 1};
-        break;
-      case LayerKind::kAdd: {
-        if (layer.inputs.size() < 2) {
-          throw std::runtime_error("add '" + layer.name + "' needs at least two inputs");
-        }
-        for (int in : layer.inputs) {
-          if (!(layers_[static_cast<std::size_t>(in)].out_shape == layer.in_shape)) {
-            throw std::runtime_error("add '" + layer.name +
-                                     "' inputs disagree on shape (element-wise add "
-                                     "requires identical tensors)");
-          }
-        }
-        layer.out_shape = layer.in_shape;
-        break;
-      }
-      case LayerKind::kConcat: {
-        if (layer.inputs.size() < 2) {
-          throw std::runtime_error("concat '" + layer.name + "' needs at least two inputs");
-        }
-        int channels = 0;
-        for (int in : layer.inputs) {
-          const Shape& s = layers_[static_cast<std::size_t>(in)].out_shape;
-          if (s.h != layer.in_shape.h || s.w != layer.in_shape.w) {
-            throw std::runtime_error("concat '" + layer.name +
-                                     "' inputs disagree on spatial shape");
-          }
-          channels += s.c;
-        }
-        layer.out_shape = Shape{channels, layer.in_shape.h, layer.in_shape.w};
-        break;
-      }
-      case LayerKind::kInput:
-        break;
-    }
+    traits.infer(layers_, layer);
   }
 }
 
 CnnModel::Stats CnnModel::stats() const {
   Stats stats;
   for (const Layer& layer : layers_) {
-    if (layer.kind == LayerKind::kConv) {
+    const StatsBucket bucket = layer_traits(layer.kind).stats_bucket;
+    if (bucket == StatsBucket::kConv) {
       ++stats.conv_layers;
       stats.conv_weights += layer.weights();
       stats.conv_macs += layer.macs();
-    } else if (layer.kind == LayerKind::kFc) {
+    } else if (bucket == StatsBucket::kFc) {
       ++stats.fc_layers;
       stats.fc_weights += layer.weights();
       stats.fc_macs += layer.macs();
@@ -285,9 +205,11 @@ CnnModel parse_arch_def(const std::string& text) {
       model = CnnModel(name);
       continue;
     }
+    const LayerTraits* traits = layer_traits_by_keyword(kind);
+    if (traits == nullptr) fail("unknown layer kind '" + kind + "'");
     Layer layer;
-    if (kind == "input") {
-      layer.kind = LayerKind::kInput;
+    layer.kind = traits->kind;
+    if (traits->source) {
       layer.name = "in";
       if (!(ls >> layer.out_shape.c >> layer.out_shape.h >> layer.out_shape.w)) {
         fail("input needs: c h w");
@@ -296,13 +218,6 @@ CnnModel parse_arch_def(const std::string& text) {
       model.add(std::move(layer));
       continue;
     }
-    if (kind == "conv") layer.kind = LayerKind::kConv;
-    else if (kind == "pool") layer.kind = LayerKind::kPool;
-    else if (kind == "relu") layer.kind = LayerKind::kRelu;
-    else if (kind == "fc") layer.kind = LayerKind::kFc;
-    else if (kind == "add") layer.kind = LayerKind::kAdd;
-    else if (kind == "concat") layer.kind = LayerKind::kConcat;
-    else fail("unknown layer kind '" + kind + "'");
 
     if (!(ls >> layer.name)) fail(kind + " needs a name");
     register_name(layer.name);
@@ -314,6 +229,8 @@ CnnModel parse_arch_def(const std::string& text) {
         layer.out_c = std::stoi(token.substr(4));
       } else if (token.rfind("k=", 0) == 0) {
         layer.kernel = std::stoi(token.substr(2));
+      } else if (token.rfind("f=", 0) == 0) {
+        layer.kernel = std::stoi(token.substr(2));  // upsample factor
       } else if (token.rfind("s=", 0) == 0) {
         layer.stride = std::stoi(token.substr(2));
       } else if (token.rfind("from=", 0) == 0) {
@@ -330,20 +247,18 @@ CnnModel parse_arch_def(const std::string& text) {
         fail("unknown attribute '" + token + "'");
       }
     }
-    if (layer.kind == LayerKind::kConv && (layer.out_c <= 0 || layer.kernel <= 0)) {
-      fail("conv needs out= and k=");
+    if (traits->parse_check != nullptr) {
+      if (const char* err = traits->parse_check(layer)) fail(err);
     }
-    if (layer.kind == LayerKind::kFc && layer.out_c <= 0) fail("fc needs out=");
-    if (layer.kind == LayerKind::kPool && layer.kernel <= 0) fail("pool needs k=");
-    if (is_join(layer.kind) && layer.inputs.size() < 2) {
+    if (traits->join && layer.inputs.size() < 2) {
       fail(kind + " needs from= with at least two layers");
     }
-    if (!is_join(layer.kind) && layer.inputs.size() > 1) {
+    if (!traits->join && layer.inputs.size() > 1) {
       fail(kind + " takes a single from= layer");
     }
     model.add(std::move(layer));
   }
-  if (model.layers().empty() || model.layers().front().kind != LayerKind::kInput) {
+  if (model.layers().empty() || !layer_traits(model.layers().front().kind).source) {
     throw std::runtime_error("arch def: first layer must be 'input'");
   }
   model.infer_shapes();
@@ -368,32 +283,7 @@ std::string to_arch_def(const CnnModel& model) {
   };
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const Layer& layer = layers[i];
-    switch (layer.kind) {
-      case LayerKind::kInput:
-        os << "input " << layer.out_shape.c << " " << layer.out_shape.h << " "
-           << layer.out_shape.w << "\n";
-        break;
-      case LayerKind::kConv:
-        os << "conv " << layer.name << " out=" << layer.out_c << " k=" << layer.kernel
-           << " s=" << layer.stride << (layer.fuse_relu ? " relu" : "") << from_clause(i)
-           << "\n";
-        break;
-      case LayerKind::kPool:
-        os << "pool " << layer.name << " k=" << layer.kernel
-           << (layer.fuse_relu ? " relu" : "") << from_clause(i) << "\n";
-        break;
-      case LayerKind::kRelu:
-        os << "relu " << layer.name << from_clause(i) << "\n";
-        break;
-      case LayerKind::kFc:
-        os << "fc " << layer.name << " out=" << layer.out_c << from_clause(i) << "\n";
-        break;
-      case LayerKind::kAdd:
-      case LayerKind::kConcat:
-        os << to_string(layer.kind) << " " << layer.name << from_clause(i)
-           << (layer.fuse_relu ? " relu" : "") << "\n";
-        break;
-    }
+    layer_traits(layer.kind).emit(os, layer, from_clause(i));
   }
   return os.str();
 }
@@ -413,48 +303,16 @@ std::vector<Fixed16> reference_inference(const CnnModel& model, const Tensor& in
   std::vector<Tensor> outs(layers.size());
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const Layer& layer = layers[i];
-    const Tensor* activ =
-        layer.inputs.empty() ? &input : &outs[static_cast<std::size_t>(layer.inputs[0])];
-    switch (layer.kind) {
-      case LayerKind::kInput:
-        outs[i] = input;
-        break;
-      case LayerKind::kConv: {
-        const auto w = synth_params(
-            static_cast<std::size_t>(layer.out_c) * activ->channels * layer.kernel *
-                layer.kernel,
-            seed_base + i * 2);
-        const auto b = synth_params(static_cast<std::size_t>(layer.out_c), seed_base + i * 2 + 1);
-        outs[i] = golden_conv2d(*activ, w, b, layer.out_c, layer.kernel, layer.stride);
-        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
-        break;
-      }
-      case LayerKind::kPool:
-        outs[i] = golden_maxpool(*activ, layer.kernel);
-        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
-        break;
-      case LayerKind::kRelu:
-        outs[i] = golden_relu(*activ);
-        break;
-      case LayerKind::kFc: {
-        const std::size_t inputs = activ->data.size();
-        const auto w = synth_params(static_cast<std::size_t>(layer.out_c) * inputs,
-                                    seed_base + i * 2);
-        const auto b = synth_params(static_cast<std::size_t>(layer.out_c), seed_base + i * 2 + 1);
-        const auto out = golden_fc(activ->data, w, b, layer.out_c);
-        outs[i] = Tensor{layer.out_c, 1, 1, out};
-        break;
-      }
-      case LayerKind::kAdd:
-      case LayerKind::kConcat: {
-        std::vector<const Tensor*> ins;
-        ins.reserve(layer.inputs.size());
-        for (int in : layer.inputs) ins.push_back(&outs[static_cast<std::size_t>(in)]);
-        outs[i] = layer.kind == LayerKind::kAdd ? golden_add(ins) : golden_concat(ins);
-        if (layer.fuse_relu) outs[i] = golden_relu(outs[i]);
-        break;
-      }
+    const LayerTraits& traits = layer_traits(layer.kind);
+    if (traits.source) {
+      outs[i] = input;
+      continue;
     }
+    std::vector<const Tensor*> ins;
+    ins.reserve(layer.inputs.size());
+    for (int in : layer.inputs) ins.push_back(&outs[static_cast<std::size_t>(in)]);
+    outs[i] = traits.golden(model, i, ins, seed_base);
+    if (layer.fuse_relu && !traits.activation) outs[i] = golden_relu(outs[i]);
   }
   return outs.back().data;
 }

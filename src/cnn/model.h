@@ -11,7 +11,20 @@
 
 namespace fpgasim {
 
-enum class LayerKind { kInput, kConv, kPool, kRelu, kFc, kAdd, kConcat };
+enum class LayerKind {
+  kInput,
+  kConv,
+  kPool,  // max pooling
+  kRelu,
+  kFc,
+  kAdd,
+  kConcat,
+  kDwConv,         // depthwise convolution (one filter per channel)
+  kAvgPool,        // average pooling, round-to-nearest-even
+  kGlobalAvgPool,  // whole-map average per channel -> c x 1 x 1
+  kUpsample,       // nearest-neighbour upsampling by `kernel`
+};
+inline constexpr int kLayerKindCount = 11;
 
 const char* to_string(LayerKind kind);
 
@@ -27,7 +40,7 @@ struct Shape {
 struct Layer {
   LayerKind kind = LayerKind::kInput;
   std::string name;
-  int kernel = 1;
+  int kernel = 1;  // window size; the replication factor for kUpsample
   int stride = 1;
   int out_c = 0;         // conv filters / fc outputs
   bool fuse_relu = false;
@@ -109,9 +122,13 @@ CnnModel make_resblock_net();
 ///   network <name>
 ///   input <c> <h> <w>
 ///   conv <name> out=<n> k=<k> [s=<s>] [relu] [from=<name>]
+///   dwconv <name> k=<k> [s=<s>] [relu] [from=<name>]
 ///   pool <name> k=<k> [relu] [from=<name>]
+///   avgpool <name> k=<k> [relu] [from=<name>]
+///   gavgpool <name> [relu] [from=<name>]
+///   upsample <name> f=<factor> [relu] [from=<name>]
 ///   relu <name> [from=<name>]
-///   fc <name> out=<n> [from=<name>]
+///   fc <name> out=<n> [relu] [from=<name>]
 ///   add <name> from=<a>,<b>[,...] [relu]
 ///   concat <name> from=<a>,<b>[,...] [relu]
 /// Layers connect to the previous line unless `from=` names explicit

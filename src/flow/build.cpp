@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cnn/registry.h"
 #include "drc/drc.h"
 #include "flow/compose.h"
 #include "synth/layers.h"
@@ -13,83 +14,22 @@
 namespace fpgasim {
 namespace {
 
-/// True if group[pos + 1] is a relu layer to fuse into group[pos].
+/// True if group[pos + 1] is an activation layer to fuse into group[pos].
 bool fused_relu_follows(const CnnModel& model, const std::vector<int>& group,
                         std::size_t pos) {
   if (pos + 1 >= group.size()) return false;
-  return model.layers()[static_cast<std::size_t>(group[pos + 1])].kind == LayerKind::kRelu;
+  const Layer& next = model.layers()[static_cast<std::size_t>(group[pos + 1])];
+  return layer_traits(next.kind).activation;
 }
 
 Netlist build_layer(const CnnModel& model, const ModelImpl& impl, int layer_idx,
                     bool fuse_relu, std::uint64_t seed_base) {
   const Layer& layer = model.layers()[static_cast<std::size_t>(layer_idx)];
-  const LayerImpl& li = impl.layers[static_cast<std::size_t>(layer_idx)];
-  const std::uint64_t wseed = seed_base + static_cast<std::uint64_t>(layer_idx) * 2;
-
-  switch (layer.kind) {
-    case LayerKind::kConv: {
-      ConvParams p;
-      p.name = layer.name;
-      p.in_c = layer.in_shape.c;
-      p.out_c = layer.out_c;
-      p.kernel = layer.kernel;
-      p.stride = layer.stride;
-      p.in_h = li.tile_h > 0 ? li.tile_h : layer.in_shape.h;
-      p.in_w = li.tile_w > 0 ? li.tile_w : layer.in_shape.w;
-      p.ic_par = li.ic_par;
-      p.oc_par = li.oc_par;
-      p.fuse_relu = fuse_relu || layer.fuse_relu;
-      p.materialize_roms = li.materialize;
-      p.weight_buffer_ocg = li.weight_buffer_ocg;
-      std::vector<Fixed16> weights, bias;
-      if (li.materialize) {
-        weights = synth_params(
-            static_cast<std::size_t>(layer.out_c) * layer.in_shape.c * layer.kernel *
-                layer.kernel,
-            wseed);
-        bias = synth_params(static_cast<std::size_t>(layer.out_c), wseed + 1);
-      }
-      return make_conv_component(p, weights, bias);
-    }
-    case LayerKind::kFc: {
-      const int inputs = static_cast<int>(layer.in_shape.volume());
-      std::vector<Fixed16> weights, bias;
-      if (li.materialize) {
-        weights = synth_params(static_cast<std::size_t>(layer.out_c) * inputs, wseed);
-        bias = synth_params(static_cast<std::size_t>(layer.out_c), wseed + 1);
-      }
-      return make_fc_component(layer.name, inputs, layer.out_c, weights, bias, li.ic_par,
-                               li.oc_par, li.materialize, li.weight_buffer_ocg);
-    }
-    case LayerKind::kPool: {
-      PoolParams p;
-      p.name = layer.name;
-      p.channels = layer.in_shape.c;
-      p.kernel = layer.kernel;
-      p.in_h = li.tile_h > 0 ? li.tile_h : layer.in_shape.h;
-      p.in_w = li.tile_w > 0 ? li.tile_w : layer.in_shape.w;
-      p.fuse_relu = fuse_relu || layer.fuse_relu;
-      return make_pool_component(p);
-    }
-    case LayerKind::kRelu:
-      return make_relu_component(layer.name);
-    case LayerKind::kAdd:
-      return make_add_component(layer.name, static_cast<int>(layer.in_shape.volume()),
-                                static_cast<int>(layer.inputs.size()),
-                                fuse_relu || layer.fuse_relu);
-    case LayerKind::kConcat: {
-      std::vector<int> volumes;
-      volumes.reserve(layer.inputs.size());
-      for (int in : layer.inputs) {
-        volumes.push_back(static_cast<int>(
-            model.layers()[static_cast<std::size_t>(in)].out_shape.volume()));
-      }
-      return make_concat_component(layer.name, volumes, fuse_relu || layer.fuse_relu);
-    }
-    case LayerKind::kInput:
-      break;
+  const auto synth = layer_traits(layer.kind).synth;
+  if (synth == nullptr) {
+    throw std::runtime_error("build_layer: layer '" + layer.name + "' is not synthesizable");
   }
-  throw std::runtime_error("build_layer: layer '" + layer.name + "' is not synthesizable");
+  return synth(model, impl, layer_idx, fuse_relu, seed_base);
 }
 
 /// True when any layer output feeds more than one consumer: only then does
@@ -148,7 +88,7 @@ Netlist build_group_netlist(const CnnModel& model, const ModelImpl& impl,
   std::string name;
   for (std::size_t pos = 0; pos < group.size(); ++pos) {
     const Layer& layer = model.layers()[static_cast<std::size_t>(group[pos])];
-    if (layer.kind == LayerKind::kRelu && pos > 0) continue;  // fused into predecessor
+    if (layer_traits(layer.kind).activation && pos > 0) continue;  // fused into predecessor
     const bool fuse = fused_relu_follows(model, group, pos);
     stages.push_back(build_layer(model, impl, group[pos], fuse, seed_base));
     if (!name.empty()) name += "+";
@@ -171,8 +111,9 @@ std::string group_signature(const CnnModel& model, const ModelImpl& impl,
   for (std::size_t pos = 0; pos < group.size(); ++pos) {
     const Layer& layer = model.layers()[static_cast<std::size_t>(group[pos])];
     const LayerImpl& li = impl.layers[static_cast<std::size_t>(group[pos])];
+    const LayerTraits& traits = layer_traits(layer.kind);
     if (pos > 0) os << "__";
-    if (is_join(layer.kind)) {
+    if (traits.join) {
       // Joins are weight-free; their identity is the kind plus every input
       // shape (port order matters for concat) and the output channels.
       os << to_string(layer.kind);
@@ -191,7 +132,7 @@ std::string group_signature(const CnnModel& model, const ModelImpl& impl,
     if (layer.fuse_relu || fused_relu_follows(model, group, pos)) os << "_r";
     // Materialized ROMs bake layer-specific weights into the checkpoint,
     // so the seed becomes part of the identity.
-    if ((layer.kind == LayerKind::kConv || layer.kind == LayerKind::kFc) && li.materialize) {
+    if (traits.weighted && li.materialize) {
       os << "_w" << seed_base + static_cast<std::uint64_t>(group[pos]) * 2;
     }
   }

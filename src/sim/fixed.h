@@ -55,4 +55,21 @@ inline std::uint64_t mask_width(std::uint64_t v, int width) {
   return width >= 64 ? v : (v & ((1ULL << width) - 1));
 }
 
+/// Round-to-nearest-even signed division, `den > 0`: the integer nearest
+/// to num/den, ties resolved toward the even quotient (IEEE-style). This
+/// is the average-pool division rule; for power-of-two denominators it is
+/// bit-exact with the avgpool engine's arithmetic-shift + adjust divider.
+/// Safe across the whole int64 range: the tie test never forms 2*|r|, and
+/// |num % den| < den <= INT64_MAX so no negation can overflow.
+inline std::int64_t div_rne(std::int64_t num, std::int64_t den) {
+  std::int64_t q = num / den;             // truncates toward zero
+  const std::int64_t r = num % den;       // same sign as num, |r| < den
+  if (r == 0) return q;
+  const std::int64_t mag = r < 0 ? -r : r;
+  const std::int64_t rest = den - mag;    // distance to the away-from-zero quotient
+  const bool away = mag > rest || (mag == rest && (q & 1) != 0);
+  if (away) q += num > 0 ? 1 : -1;
+  return q;
+}
+
 }  // namespace fpgasim

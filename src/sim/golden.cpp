@@ -56,6 +56,84 @@ Tensor golden_maxpool(const Tensor& input, int kernel) {
   return out;
 }
 
+namespace {
+
+/// RNE mean of one rectangular window; the sum is exact in int64 so the
+/// division sees the same value as the engine's 24-bit accumulator.
+Fixed16 window_mean(const Tensor& input, int c, int y0, int x0, int kh, int kw) {
+  std::int64_t sum = 0;
+  for (int ky = 0; ky < kh; ++ky) {
+    for (int kx = 0; kx < kw; ++kx) {
+      sum += input.at(c, y0 + ky, x0 + kx).raw;
+    }
+  }
+  // The mean of int16 values is itself in int16 range, so no clamp fires.
+  return Fixed16::from_raw(
+      static_cast<std::int32_t>(div_rne(sum, static_cast<std::int64_t>(kh) * kw)));
+}
+
+}  // namespace
+
+Tensor golden_avgpool(const Tensor& input, int kernel) {
+  const int out_h = input.height / kernel;
+  const int out_w = input.width / kernel;
+  Tensor out = Tensor::zeros(input.channels, out_h, out_w);
+  for (int c = 0; c < input.channels; ++c) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        out.at(c, oy, ox) = window_mean(input, c, oy * kernel, ox * kernel, kernel, kernel);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor golden_global_avgpool(const Tensor& input) {
+  Tensor out = Tensor::zeros(input.channels, 1, 1);
+  for (int c = 0; c < input.channels; ++c) {
+    out.at(c, 0, 0) = window_mean(input, c, 0, 0, input.height, input.width);
+  }
+  return out;
+}
+
+Tensor golden_dwconv2d(const Tensor& input, const std::vector<Fixed16>& weights,
+                       const std::vector<Fixed16>& bias, int kernel, int stride) {
+  const int out_h = (input.height - kernel) / stride + 1;
+  const int out_w = (input.width - kernel) / stride + 1;
+  assert(weights.size() ==
+         static_cast<std::size_t>(input.channels) * kernel * kernel);
+  assert(bias.size() == static_cast<std::size_t>(input.channels));
+  Tensor out = Tensor::zeros(input.channels, out_h, out_w);
+  for (int c = 0; c < input.channels; ++c) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        Fixed16 acc = bias[static_cast<std::size_t>(c)];
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            const Fixed16 w =
+                weights[static_cast<std::size_t>((c * kernel + ky) * kernel + kx)];
+            acc = acc + w * input.at(c, oy * stride + ky, ox * stride + kx);
+          }
+        }
+        out.at(c, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor golden_upsample_nn(const Tensor& input, int factor) {
+  Tensor out = Tensor::zeros(input.channels, input.height * factor, input.width * factor);
+  for (int c = 0; c < input.channels; ++c) {
+    for (int y = 0; y < out.height; ++y) {
+      for (int x = 0; x < out.width; ++x) {
+        out.at(c, y, x) = input.at(c, y / factor, x / factor);
+      }
+    }
+  }
+  return out;
+}
+
 Tensor golden_relu(const Tensor& input) {
   Tensor out = input;
   for (Fixed16& v : out.data) v = fixed_relu(v);

@@ -39,6 +39,24 @@ Tensor golden_conv2d(const Tensor& input, const std::vector<Fixed16>& weights,
 /// Non-overlapping k x k max pooling.
 Tensor golden_maxpool(const Tensor& input, int kernel);
 
+/// Non-overlapping k x k average pooling. The Q8.8 window sum is divided
+/// with round-to-nearest-even (div_rne), matching the avgpool engine's
+/// shift-and-adjust divider bit for bit.
+Tensor golden_avgpool(const Tensor& input, int kernel);
+
+/// Global average pooling: one RNE mean per channel, output shape c x 1 x 1.
+Tensor golden_global_avgpool(const Tensor& input);
+
+/// Valid-padding depthwise convolution: channel c of the output is channel
+/// c of the input convolved with its own k x k filter. weights layout
+/// [c][ky][kx]; bias per channel.
+Tensor golden_dwconv2d(const Tensor& input, const std::vector<Fixed16>& weights,
+                       const std::vector<Fixed16>& bias, int kernel, int stride = 1);
+
+/// Nearest-neighbour upsampling by an integer factor: every input pixel is
+/// replicated into a factor x factor block (U-Net style decoders).
+Tensor golden_upsample_nn(const Tensor& input, int factor);
+
 Tensor golden_relu(const Tensor& input);
 
 /// Fully-connected layer; weights layout [out][in], bias per output.

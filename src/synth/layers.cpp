@@ -263,7 +263,7 @@ Netlist make_conv_component(const ConvParams& p, const std::vector<Fixed16>& wei
 Netlist make_fc_component(const std::string& name, int inputs, int outputs,
                           const std::vector<Fixed16>& weights,
                           const std::vector<Fixed16>& bias, int in_par, int out_par,
-                          bool materialize_roms, int weight_buffer_ocg) {
+                          bool materialize_roms, int weight_buffer_ocg, bool fuse_relu) {
   // FC == convolution whose kernel covers the whole (1x1) input of
   // `inputs` channels.
   ConvParams p;
@@ -275,9 +275,317 @@ Netlist make_fc_component(const std::string& name, int inputs, int outputs,
   p.in_w = 1;
   p.ic_par = in_par;
   p.oc_par = out_par;
+  p.fuse_relu = fuse_relu;
   p.materialize_roms = materialize_roms;
   p.weight_buffer_ocg = weight_buffer_ocg;
   return make_conv_component(p, weights, bias);
+}
+
+Netlist make_dwconv_component(const DwConvParams& p, const std::vector<Fixed16>& weights,
+                              const std::vector<Fixed16>& bias) {
+  const int K = p.kernel, H = p.in_h, W = p.in_w, Ho = p.out_h(), Wo = p.out_w();
+  const int C = p.channels;
+  const int lat = 1 + p.dsp_stages;  // BRAM read + DSP pipeline
+  assert(weights.size() == static_cast<std::size_t>(C) * K * K);
+  assert(bias.size() == static_cast<std::size_t>(C));
+
+  NetlistBuilder b(p.name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_compute = b.eq(st.value, b.constant(kStCompute, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  // Source controller (single bank: channels are processed sequentially).
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto pix = b.counter(static_cast<std::uint32_t>(H) * W, wr, kAddrW, "ld_pix");
+  const auto ch = b.counter(static_cast<std::uint32_t>(C), pix.wrap, kAddrW, "ld_ch");
+  const NetId load_addr =
+      b.mul_const_add(ch.value, static_cast<std::uint64_t>(H) * W, pix.value, kAddrW);
+  const NetId load_done = ch.wrap;
+
+  // Window sweep, pool-style counters but with a stride-decoupled window;
+  // the sweep freezes after the last term so the MAC pipeline can flush.
+  Cell done_cell;
+  done_cell.type = CellType::kFf;
+  done_cell.width = 1;
+  done_cell.name = "done_latch";
+  const CellId done_reg = b.netlist().add_cell(std::move(done_cell));
+  const NetId done_latch = b.netlist().add_net(1);
+  b.netlist().connect_output(done_reg, 0, done_latch);
+  const NetId sweeping = b.and2(is_compute, b.not1(done_latch));
+
+  const auto kx = b.counter(static_cast<std::uint32_t>(K), sweeping, 8, "kx");
+  const auto ky = b.counter(static_cast<std::uint32_t>(K), kx.wrap, 8, "ky");
+  const auto ox = b.counter(static_cast<std::uint32_t>(Wo), ky.wrap, kAddrW, "ox");
+  const auto oy = b.counter(static_cast<std::uint32_t>(Ho), ox.wrap, kAddrW, "oy");
+  const auto c2 = b.counter(static_cast<std::uint32_t>(C), oy.wrap, kAddrW, "c2");
+  const NetId complete = ky.wrap;      // one output-pixel accumulation done
+  const NetId compute_done = c2.wrap;  // whole layer done
+  b.netlist().connect_input(done_reg, 0,
+                            b.and2(is_compute, b.or2(done_latch, compute_done)));
+  b.netlist().connect_input(done_reg, 1, b.one());
+  const NetId first = b.and2(b.eq(kx.value, b.zero(8)), b.eq(ky.value, b.zero(8)));
+
+  const NetId iy =
+      b.mul_const_add(oy.value, static_cast<std::uint64_t>(p.stride), ky.value, kAddrW);
+  const NetId ix =
+      b.mul_const_add(ox.value, static_cast<std::uint64_t>(p.stride), kx.value, kAddrW);
+  const NetId row = b.mul_const_add(iy, static_cast<std::uint64_t>(W), ix, kAddrW);
+  const NetId rd_addr =
+      b.mul_const_add(c2.value, static_cast<std::uint64_t>(H) * W, row, kAddrW);
+  const NetId ifm = b.bram(load_addr, in_data, wr, static_cast<std::uint32_t>(C) * H * W,
+                           kDataW, -1, "ifm", rd_addr);
+
+  // One weight ROM and one DSP MAC, shared by every channel.
+  const NetId t1 = b.mul_const_add(c2.value, static_cast<std::uint64_t>(K), ky.value, kAddrW);
+  const NetId widx = b.mul_const_add(t1, static_cast<std::uint64_t>(K), kx.value, kAddrW);
+  const NetId w_net = b.bram(widx, kInvalidNet, kInvalidNet,
+                             static_cast<std::uint32_t>(C) * K * K, kDataW,
+                             b.rom(to_rom_words(weights)), "wrom");
+  const NetId product =
+      b.dsp(w_net, ifm, kInvalidNet, kFixedFrac, p.dsp_stages, kDataW, "mac");
+
+  const NetId term_valid_dl = b.delay(is_compute, lat, 1);
+  const NetId first_dl = b.delay(first, lat, 1);
+  const NetId complete_dl = b.delay(b.and2(complete, is_compute), lat, 1);
+  const NetId done_dl = b.delay(b.and2(compute_done, is_compute), lat, 1);
+  const NetId bias_addr = b.delay(c2.value, lat - 1, kAddrW);
+
+  // Accumulator: acc <- (first ? 0 : acc) + product (the conv-engine idiom).
+  Cell acc_cell;
+  acc_cell.type = CellType::kFf;
+  acc_cell.width = kDataW;
+  acc_cell.name = "acc";
+  const CellId acc_reg = b.netlist().add_cell(std::move(acc_cell));
+  const NetId acc = b.netlist().add_net(kDataW);
+  b.netlist().connect_output(acc_reg, 0, acc);
+  const NetId acc_base = b.mux2(acc, b.zero(kDataW), first_dl, kDataW);
+  const NetId acc_next = b.add(acc_base, product, kDataW);
+  b.netlist().connect_input(acc_reg, 0, acc_next);
+  b.netlist().connect_input(acc_reg, 1, term_valid_dl);
+
+  const NetId bias_net = b.bram(bias_addr, kInvalidNet, kInvalidNet,
+                                static_cast<std::uint32_t>(C), kDataW,
+                                b.rom(to_rom_words(bias)), "brom");
+  NetId result = b.add(acc_next, bias_net, kDataW);
+  if (p.fuse_relu) result = b.relu(result, kDataW);
+
+  // Sink controller (single bank, pool-style drain).
+  const auto out_idx =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, complete_dl, kAddrW, "out_idx");
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto opix =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, streaming, kAddrW, "opix");
+  const NetId ofm = b.bram(out_idx.value, result, complete_dl,
+                           static_cast<std::uint32_t>(C) * Ho * Wo, kDataW, -1, "ofm",
+                           opix.value);
+  const NetId out_data = b.ff(ofm, kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = opix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStCompute, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), done_dl, 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_avgpool_component(const AvgPoolParams& p) {
+  const int Kh = p.kernel_h, Kw = p.kernel_w, H = p.in_h, W = p.in_w;
+  const int Ho = p.out_h(), Wo = p.out_w();
+  const int C = p.channels;
+  const int count = Kh * Kw;
+  if (Kh <= 0 || Kw <= 0 || H % Kh != 0 || W % Kw != 0) {
+    throw std::invalid_argument("avgpool: window must tile the input");
+  }
+  if ((count & (count - 1)) != 0 || count > 256) {
+    throw std::invalid_argument(
+        "avgpool: window size must be a power of two <= 256 (shift divider)");
+  }
+  int shift = 0;
+  while ((1 << shift) < count) ++shift;
+  // Accumulator width: 256 terms of |raw| <= 2^15 peak at 2^23, the int24
+  // boundary, so the window sum is exact (no wrap, no clamp).
+  constexpr std::uint16_t kAccW = 24;
+
+  NetlistBuilder b(p.name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_compute = b.eq(st.value, b.constant(kStCompute, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  // Source controller (the max-pool engine's, verbatim).
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto pix = b.counter(static_cast<std::uint32_t>(H) * W, wr, kAddrW, "ld_pix");
+  const auto ch = b.counter(static_cast<std::uint32_t>(C), pix.wrap, kAddrW, "ld_ch");
+  const NetId load_addr =
+      b.mul_const_add(ch.value, static_cast<std::uint64_t>(H) * W, pix.value, kAddrW);
+  const NetId load_done = ch.wrap;
+
+  Cell done_cell;
+  done_cell.type = CellType::kFf;
+  done_cell.width = 1;
+  done_cell.name = "done_latch";
+  const CellId done_reg = b.netlist().add_cell(std::move(done_cell));
+  const NetId done_latch = b.netlist().add_net(1);
+  b.netlist().connect_output(done_reg, 0, done_latch);
+  const NetId sweeping = b.and2(is_compute, b.not1(done_latch));
+
+  const auto kx = b.counter(static_cast<std::uint32_t>(Kw), sweeping, 8, "kx");
+  const auto ky = b.counter(static_cast<std::uint32_t>(Kh), kx.wrap, 8, "ky");
+  const auto ox = b.counter(static_cast<std::uint32_t>(Wo), ky.wrap, kAddrW, "ox");
+  const auto oy = b.counter(static_cast<std::uint32_t>(Ho), ox.wrap, kAddrW, "oy");
+  const auto c2 = b.counter(static_cast<std::uint32_t>(C), oy.wrap, kAddrW, "c2");
+  const NetId complete = ky.wrap;
+  const NetId compute_done = c2.wrap;
+  b.netlist().connect_input(done_reg, 0,
+                            b.and2(is_compute, b.or2(done_latch, compute_done)));
+  b.netlist().connect_input(done_reg, 1, b.one());
+  const NetId first = b.and2(b.eq(kx.value, b.zero(8)), b.eq(ky.value, b.zero(8)));
+
+  const NetId iy = b.mul_const_add(oy.value, static_cast<std::uint64_t>(Kh), ky.value, kAddrW);
+  const NetId ix = b.mul_const_add(ox.value, static_cast<std::uint64_t>(Kw), kx.value, kAddrW);
+  const NetId row = b.mul_const_add(iy, static_cast<std::uint64_t>(W), ix, kAddrW);
+  const NetId rd_addr =
+      b.mul_const_add(c2.value, static_cast<std::uint64_t>(H) * W, row, kAddrW);
+  const NetId ifm = b.bram(load_addr, in_data, wr, static_cast<std::uint32_t>(C) * H * W,
+                           kDataW, -1, "ifm", rd_addr);
+
+  // Window accumulator. Reading a 16-bit net into a 24-bit cell zero-pads,
+  // so negative Q8.8 samples need an explicit sign-extension gadget before
+  // they enter the adder.
+  const NetId first_d1 = b.delay(first, 1, 1);
+  const NetId complete_d1 = b.delay(b.and2(complete, is_compute), 1, 1);
+  const NetId done_d1 = b.delay(b.and2(compute_done, is_compute), 1, 1);
+  const NetId en_d1 = b.delay(is_compute, 1, 1);
+
+  const NetId zext = b.op2(LutOp::kPass, ifm, ifm, kAccW);
+  const NetId hi_mask = b.constant(0xFF0000, kAccW);
+  const NetId ext = b.mux2(zext, b.op2(LutOp::kOr, zext, hi_mask, kAccW),
+                           b.bit(ifm, kDataW - 1), kAccW, "sext");
+
+  Cell acc_cell;
+  acc_cell.type = CellType::kFf;
+  acc_cell.width = kAccW;
+  acc_cell.name = "acc";
+  const CellId acc_reg = b.netlist().add_cell(std::move(acc_cell));
+  const NetId acc = b.netlist().add_net(kAccW);
+  b.netlist().connect_output(acc_reg, 0, acc);
+  const NetId acc_base = b.mux2(acc, b.zero(kAccW), first_d1, kAccW);
+  const NetId acc_next = b.add(acc_base, ext, kAccW);
+  b.netlist().connect_input(acc_reg, 0, acc_next);
+  b.netlist().connect_input(acc_reg, 1, en_d1);
+
+  // Divide by the window size: floor via an arithmetic-shift DSP (b == 1,
+  // shift == log2(count)), then adjust the floor quotient to
+  // round-to-nearest-even on the masked-off remainder — bit-exact with
+  // div_rne for power-of-two denominators.
+  NetId quotient = acc_next;
+  if (shift > 0) {
+    const NetId q0 =
+        b.dsp(acc_next, b.constant(1, kAccW), kInvalidNet, shift, 0, kAccW, "avg_shift");
+    const NetId rem = b.op2(LutOp::kAnd, acc_next,
+                            b.constant((1ULL << shift) - 1, kAccW), kAccW);
+    const NetId half = b.constant(1ULL << (shift - 1), kAccW);
+    const NetId above = b.ltu(half, rem);
+    const NetId tie = b.and2(b.eq(rem, half), b.bit(q0, 0));
+    const NetId bump = b.mux2(b.zero(kAccW), b.constant(1, kAccW),
+                              b.or2(above, tie), kAccW);
+    quotient = b.add(q0, bump, kAccW);
+  }
+  // The mean of Q8.8 samples is in Q8.8 range, so the low 16 bits are the
+  // exact result.
+  NetId result = b.op2(LutOp::kPass, quotient, quotient, kDataW);
+  if (p.fuse_relu) result = b.relu(result, kDataW);
+
+  // Sink controller (the max-pool engine's, verbatim).
+  const auto out_idx =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, complete_d1, kAddrW, "out_idx");
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto opix =
+      b.counter(static_cast<std::uint32_t>(C) * Ho * Wo, streaming, kAddrW, "opix");
+  const NetId ofm = b.bram(out_idx.value, result, complete_d1,
+                           static_cast<std::uint32_t>(C) * Ho * Wo, kDataW, -1, "ofm",
+                           opix.value);
+  const NetId out_data = b.ff(ofm, kInvalidNet, kDataW, "ob_reg");
+  const NetId out_valid = b.delay(streaming, 2, 1);
+  const NetId drain_done = opix.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStCompute, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), done_d1, 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", out_valid);
+  return std::move(b).take();
+}
+
+Netlist make_upsample_component(const std::string& name, int channels, int in_h, int in_w,
+                                int factor, bool fuse_relu) {
+  if (factor <= 0) throw std::invalid_argument("upsample: factor must be positive");
+  const int C = channels, H = in_h, W = in_w, F = factor;
+
+  NetlistBuilder b(name);
+  const NetId in_data = b.in_port("in_data", kDataW);
+  const NetId in_valid = b.in_port("in_valid", 1);
+  const NetId out_ready = b.in_port("out_ready", 1);
+
+  // LOAD -> DRAIN store-and-forward (the MMU template): the drain replays
+  // each pixel F times per output row and each source row F times.
+  const StateReg st = make_state_reg(b);
+  const NetId is_load = b.eq(st.value, b.constant(kStLoad, 2));
+  const NetId is_drain = b.eq(st.value, b.constant(kStDrain, 2));
+
+  const NetId wr = b.and2(is_load, in_valid);
+  const auto wpix =
+      b.counter(static_cast<std::uint32_t>(C) * H * W, wr, kAddrW, "wpix");
+  const NetId load_done = wpix.wrap;
+
+  // Output raster (c, y, x) with y = yb*F + ys, x = xb*F + xs: the x
+  // replica is the fastest digit, then the source column, the y replica,
+  // the source row, and the channel.
+  const NetId streaming = b.and2(is_drain, out_ready);
+  const auto xs = b.counter(static_cast<std::uint32_t>(F), streaming, 8, "xs");
+  const auto xb = b.counter(static_cast<std::uint32_t>(W), xs.wrap, kAddrW, "xb");
+  const auto ys = b.counter(static_cast<std::uint32_t>(F), xb.wrap, 8, "ys");
+  const auto yb = b.counter(static_cast<std::uint32_t>(H), ys.wrap, kAddrW, "yb");
+  const auto c2 = b.counter(static_cast<std::uint32_t>(C), yb.wrap, kAddrW, "c2");
+  const NetId row = b.mul_const_add(yb.value, static_cast<std::uint64_t>(W), xb.value, kAddrW);
+  const NetId raddr =
+      b.mul_const_add(c2.value, static_cast<std::uint64_t>(H) * W, row, kAddrW);
+
+  const NetId buf = b.bram(wpix.value, in_data, wr, static_cast<std::uint32_t>(C) * H * W,
+                           kDataW, -1, "buf", raddr);
+  NetId result = buf;
+  if (fuse_relu) result = b.relu(result, kDataW);
+  const NetId out_data = b.ff(result, kInvalidNet, kDataW, "ob_reg");
+  const NetId drain_done = c2.wrap;
+
+  NetId next_state = st.value;
+  next_state = b.mux2(next_state, b.constant(kStDrain, 2), b.and2(is_load, load_done), 2);
+  next_state = b.mux2(next_state, b.constant(kStLoad, 2), b.and2(is_drain, drain_done), 2);
+  finish_state_reg(b, st, next_state);
+
+  b.out_port("in_ready", is_load);
+  b.out_port("out_data", out_data);
+  b.out_port("out_valid", b.delay(streaming, 2, 1));
+  return std::move(b).take();
 }
 
 Netlist make_pool_component(const PoolParams& p) {

@@ -72,7 +72,60 @@ Netlist make_conv_component(const ConvParams& params, const std::vector<Fixed16>
 Netlist make_fc_component(const std::string& name, int inputs, int outputs,
                           const std::vector<Fixed16>& weights,
                           const std::vector<Fixed16>& bias, int in_par = 1, int out_par = 1,
-                          bool materialize_roms = true, int weight_buffer_ocg = 0);
+                          bool materialize_roms = true, int weight_buffer_ocg = 0,
+                          bool fuse_relu = false);
+
+struct DwConvParams {
+  std::string name = "dwconv";
+  int channels = 1;
+  int kernel = 3;
+  int stride = 1;
+  int in_h = 8;
+  int in_w = 8;
+  int dsp_stages = 1;  // MAC pipeline registers inside the DSP48
+  bool fuse_relu = false;
+
+  int out_h() const { return (in_h - kernel) / stride + 1; }
+  int out_w() const { return (in_w - kernel) / stride + 1; }
+  long load_cycles() const { return static_cast<long>(channels) * in_h * in_w; }
+  long compute_cycles() const {
+    return static_cast<long>(channels) * out_h() * out_w() * kernel * kernel;
+  }
+  long drain_cycles() const { return static_cast<long>(channels) * out_h() * out_w(); }
+};
+
+/// Depthwise convolution engine: one k x k filter per channel, a single
+/// DSP MAC sweeping the channels sequentially (MobileNet-style dw stages).
+/// `weights` laid out [c][ky][kx], `bias` per channel; both Q8.8.
+Netlist make_dwconv_component(const DwConvParams& params,
+                              const std::vector<Fixed16>& weights,
+                              const std::vector<Fixed16>& bias);
+
+struct AvgPoolParams {
+  std::string name = "avgpool";
+  int channels = 1;
+  int kernel_h = 2;  // == in_h for global average pooling
+  int kernel_w = 2;
+  int in_h = 8;
+  int in_w = 8;
+  bool fuse_relu = false;
+
+  int out_h() const { return in_h / kernel_h; }
+  int out_w() const { return in_w / kernel_w; }
+};
+
+/// Average-pooling engine: a 24-bit window accumulator (sign-extended Q8.8
+/// terms) divided by the window size with round-to-nearest-even — the
+/// window must be a power of two <= 256 so the divide is an arithmetic
+/// shift plus remainder adjust, bit-exact with div_rne/golden_avgpool.
+/// Global average pooling is the kernel_h == in_h, kernel_w == in_w case.
+Netlist make_avgpool_component(const AvgPoolParams& params);
+
+/// Nearest-neighbour upsampling engine: buffers the image, then drains
+/// every input pixel `factor` times per row and every row `factor` times
+/// (channel-major raster), matching golden_upsample_nn.
+Netlist make_upsample_component(const std::string& name, int channels, int in_h, int in_w,
+                                int factor, bool fuse_relu = false);
 
 struct PoolParams {
   std::string name = "pool";

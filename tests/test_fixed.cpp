@@ -70,6 +70,65 @@ TEST(MaskWidth, ClipsToWidth) {
   EXPECT_EQ(mask_width(~0ULL, 64), ~0ULL);
 }
 
+TEST(DivRne, RoundsHalfToEven) {
+  // Exact halves land on the even quotient, both signs.
+  EXPECT_EQ(div_rne(5, 2), 2);
+  EXPECT_EQ(div_rne(7, 2), 4);
+  EXPECT_EQ(div_rne(-5, 2), -2);
+  EXPECT_EQ(div_rne(-7, 2), -4);
+  EXPECT_EQ(div_rne(2, 4), 0);
+  EXPECT_EQ(div_rne(6, 4), 2);
+  EXPECT_EQ(div_rne(-2, 4), 0);
+  EXPECT_EQ(div_rne(-6, 4), -2);
+}
+
+TEST(DivRne, NonTiesRoundToNearest) {
+  EXPECT_EQ(div_rne(0, 7), 0);
+  EXPECT_EQ(div_rne(10, 3), 3);
+  EXPECT_EQ(div_rne(11, 3), 4);
+  EXPECT_EQ(div_rne(-10, 3), -3);
+  EXPECT_EQ(div_rne(-11, 3), -4);
+  EXPECT_EQ(div_rne(99, 100), 1);
+  EXPECT_EQ(div_rne(-99, 100), -1);
+  EXPECT_EQ(div_rne(49, 100), 0);
+}
+
+TEST(DivRne, Width64Edges) {
+  // The implementation must never form 2*|r| or negate den: these inputs
+  // overflow any naive formulation.
+  constexpr std::int64_t kMax = INT64_MAX;
+  constexpr std::int64_t kMin = INT64_MIN;
+  EXPECT_EQ(div_rne(kMax, 1), kMax);
+  EXPECT_EQ(div_rne(kMin, 1), kMin);
+  EXPECT_EQ(div_rne(kMax, kMax), 1);
+  EXPECT_EQ(div_rne(kMin + 1, kMax), -1);
+  // kMax = 2^63 - 1: kMax/2 truncates to 2^62 - 1 (odd remainder 1 < half).
+  EXPECT_EQ(div_rne(kMax, 2), (kMax >> 1) + 1);  // .5 up to the even 2^62
+  EXPECT_EQ(div_rne(kMin, 2), kMin / 2);         // exact
+  EXPECT_EQ(div_rne(kMin + 1, 2), kMin / 2);     // -.5 toward the even quotient
+  EXPECT_EQ(div_rne(kMax - 1, kMax), 1);
+  EXPECT_EQ(div_rne(1, kMax), 0);
+  EXPECT_EQ(div_rne(-1, kMax), 0);
+}
+
+TEST(DivRne, MatchesShiftAdjustForPow2Denominators) {
+  // The avgpool engine divides by shifting (floor) then adjusting on the
+  // remainder; div_rne is its specification. Cross-check on the window
+  // sizes the engine accepts (2..256) over a signed value sweep.
+  Rng rng(321);
+  for (int shift = 1; shift <= 8; ++shift) {
+    const std::int64_t den = std::int64_t{1} << shift;
+    for (int trial = 0; trial < 400; ++trial) {
+      const std::int64_t num = rng.next_int(-5000, 5000);
+      const std::int64_t q0 = num >> shift;  // floor
+      const std::int64_t rem = num & (den - 1);
+      const std::int64_t half = den >> 1;
+      const bool bump = rem > half || (rem == half && (q0 & 1) != 0);
+      EXPECT_EQ(div_rne(num, den), q0 + (bump ? 1 : 0)) << num << "/" << den;
+    }
+  }
+}
+
 TEST(Fixed16, MulAddAssociativityWithoutSaturation) {
   // The hardware sums products in a different order than the golden model;
   // small magnitudes never clip, so the results must match exactly.

@@ -136,5 +136,98 @@ TEST(Golden, FcEqualsConvWithFullKernel) {
   }
 }
 
+TEST(Golden, AvgPoolKnownAnswerWithRneTies) {
+  // 2x2 windows over raw Q8.8 values; the window mean uses
+  // round-to-nearest-even on the raw sum (den = 4).
+  Tensor in = Tensor::zeros(1, 2, 4);
+  in.at(0, 0, 0) = Fixed16::from_raw(1);
+  in.at(0, 0, 1) = Fixed16::from_raw(2);
+  in.at(0, 1, 0) = Fixed16::from_raw(3);
+  in.at(0, 1, 1) = Fixed16::from_raw(4);  // sum 10 -> 2.5 -> 2 (even)
+  in.at(0, 0, 2) = Fixed16::from_raw(3);
+  in.at(0, 0, 3) = Fixed16::from_raw(3);
+  in.at(0, 1, 2) = Fixed16::from_raw(4);
+  in.at(0, 1, 3) = Fixed16::from_raw(4);  // sum 14 -> 3.5 -> 4 (even)
+  const Tensor out = golden_avgpool(in, 2);
+  EXPECT_EQ(out.height, 1);
+  EXPECT_EQ(out.width, 2);
+  EXPECT_EQ(out.at(0, 0, 0).raw, 2);
+  EXPECT_EQ(out.at(0, 0, 1).raw, 4);
+}
+
+TEST(Golden, AvgPoolNegativeTiesRoundToEven) {
+  Tensor in = Tensor::zeros(1, 2, 2);
+  in.at(0, 0, 0) = Fixed16::from_raw(-1);
+  in.at(0, 0, 1) = Fixed16::from_raw(-2);
+  in.at(0, 1, 0) = Fixed16::from_raw(-3);
+  in.at(0, 1, 1) = Fixed16::from_raw(-4);  // sum -10 -> -2.5 -> -2 (even)
+  EXPECT_EQ(golden_avgpool(in, 2).at(0, 0, 0).raw, -2);
+  in.at(0, 1, 1) = Fixed16::from_raw(-8);  // sum -14 -> -3.5 -> -4 (even)
+  EXPECT_EQ(golden_avgpool(in, 2).at(0, 0, 0).raw, -4);
+}
+
+TEST(Golden, GlobalAvgPoolIsFullWindowAvgPool) {
+  const Tensor in = random_tensor(3, 4, 4, 23);
+  const Tensor global = golden_global_avgpool(in);
+  const Tensor full = golden_avgpool(in, 4);
+  ASSERT_EQ(global.height, 1);
+  ASSERT_EQ(global.width, 1);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(global.at(c, 0, 0), full.at(c, 0, 0));
+}
+
+TEST(Golden, DwConvMatchesPerChannelConv) {
+  // Depthwise convolution is definitionally one single-channel conv per
+  // channel; the decomposition must agree bit for bit, strides included.
+  for (const int stride : {1, 2}) {
+    const Tensor in = random_tensor(3, 6, 6, 31, 40);
+    Rng rng(37);
+    std::vector<Fixed16> w(static_cast<std::size_t>(3) * 3 * 3);
+    for (Fixed16& v : w) {
+      v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-40, 40)));
+    }
+    std::vector<Fixed16> bias(3);
+    for (Fixed16& v : bias) {
+      v = Fixed16::from_raw(static_cast<std::int32_t>(rng.next_int(-40, 40)));
+    }
+    const Tensor out = golden_dwconv2d(in, w, bias, 3, stride);
+    for (int c = 0; c < 3; ++c) {
+      Tensor channel = Tensor::zeros(1, 6, 6);
+      for (int y = 0; y < 6; ++y) {
+        for (int x = 0; x < 6; ++x) channel.at(0, y, x) = in.at(c, y, x);
+      }
+      const std::vector<Fixed16> wc(w.begin() + c * 9, w.begin() + (c + 1) * 9);
+      const Tensor ref = golden_conv2d(channel, wc, {bias[static_cast<std::size_t>(c)]},
+                                       1, 3, stride);
+      ASSERT_EQ(out.height, ref.height);
+      for (int y = 0; y < out.height; ++y) {
+        for (int x = 0; x < out.width; ++x) {
+          EXPECT_EQ(out.at(c, y, x), ref.at(0, y, x)) << c << "," << y << "," << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(Golden, UpsampleReplicatesBlocks) {
+  const Tensor in = random_tensor(2, 3, 3, 41);
+  const Tensor out = golden_upsample_nn(in, 3);
+  EXPECT_EQ(out.channels, 2);
+  EXPECT_EQ(out.height, 9);
+  EXPECT_EQ(out.width, 9);
+  for (int c = 0; c < 2; ++c) {
+    for (int y = 0; y < 9; ++y) {
+      for (int x = 0; x < 9; ++x) {
+        EXPECT_EQ(out.at(c, y, x), in.at(c, y / 3, x / 3));
+      }
+    }
+  }
+}
+
+TEST(Golden, UpsampleFactorOneIsIdentity) {
+  const Tensor in = random_tensor(2, 4, 5, 43);
+  const Tensor out = golden_upsample_nn(in, 1);
+  EXPECT_EQ(out.data, in.data);
+}
+
 }  // namespace
 }  // namespace fpgasim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 
 #include "flow/build.h"
 #include "flow/monolithic.h"
@@ -126,6 +127,140 @@ fc head out=4
     // Idempotence: a second trip emits byte-identical text.
     EXPECT_EQ(to_arch_def(again), text) << model.name();
   }
+}
+
+/// Randomized legal-construction model generator covering every layer
+/// kind: linear stretches of conv / dwconv / pool / avgpool / gavgpool /
+/// upsample / relu / fc interleaved with branch-and-join motifs (add on
+/// matching 1x1-conv branches, concat on mismatched ones). Moves are
+/// drawn only from the kinds legal for the current shape, so every
+/// generated model passes infer_shapes.
+CnnModel random_model(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto pick = [&rng](int lo, int hi) {
+    return static_cast<int>(rng.next_int(lo, hi));
+  };
+  const auto coin = [&rng] { return rng.next_below(2) == 0; };
+  CnnModel model("rand" + std::to_string(seed));
+  int c = pick(1, 4);
+  int h = pick(4, 12);
+  int w = pick(4, 12);
+  model.add(Layer{.kind = LayerKind::kInput, .name = "in", .out_shape = Shape{c, h, w}});
+  int next_id = 0;
+  const auto fresh = [&next_id] {
+    std::string name = std::to_string(next_id++);
+    name.insert(0, "l");
+    return name;
+  };
+  const auto pow2 = [](int v) { return v > 0 && (v & (v - 1)) == 0; };
+
+  const int steps = pick(3, 8);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<int> moves = {0, 7};                   // conv and fc always apply
+    if (std::min(h, w) >= 1) moves.push_back(1);       // dwconv (k >= 1)
+    if (h % 2 == 0 && w % 2 == 0) moves.push_back(2);  // pool k=2
+    if (h % 2 == 0 && w % 2 == 0) moves.push_back(3);  // avgpool k=2 (window 4)
+    if (pow2(h * w) && h * w <= 256) moves.push_back(4);  // gavgpool
+    if (h * 2 <= 16 && w * 2 <= 16) moves.push_back(5);   // upsample
+    moves.push_back(6);                                   // standalone relu
+    if (h >= 1 && w >= 1) moves.push_back(8);             // branch + join
+    const int move = moves[static_cast<std::size_t>(pick(0, static_cast<int>(moves.size()) - 1))];
+    const bool relu = coin();
+    switch (move) {
+      case 0: {  // conv
+        const int k = pick(1, std::min(3, std::min(h, w)));
+        const int s = (h - k >= 1 && w - k >= 1 && coin()) ? 2 : 1;
+        const int out = pick(1, 6);
+        model.add(Layer{.kind = LayerKind::kConv, .name = fresh(), .kernel = k,
+                        .stride = s, .out_c = out, .fuse_relu = relu});
+        c = out;
+        h = (h - k) / s + 1;
+        w = (w - k) / s + 1;
+        break;
+      }
+      case 1: {  // dwconv
+        const int k = pick(1, std::min(3, std::min(h, w)));
+        const int s = (h - k >= 1 && w - k >= 1 && coin()) ? 2 : 1;
+        model.add(Layer{.kind = LayerKind::kDwConv, .name = fresh(), .kernel = k,
+                        .stride = s, .fuse_relu = relu});
+        h = (h - k) / s + 1;
+        w = (w - k) / s + 1;
+        break;
+      }
+      case 2:  // max pool
+        model.add(Layer{.kind = LayerKind::kPool, .name = fresh(), .kernel = 2,
+                        .fuse_relu = relu});
+        h /= 2;
+        w /= 2;
+        break;
+      case 3:  // average pool
+        model.add(Layer{.kind = LayerKind::kAvgPool, .name = fresh(), .kernel = 2,
+                        .fuse_relu = relu});
+        h /= 2;
+        w /= 2;
+        break;
+      case 4:  // global average pool
+        model.add(Layer{.kind = LayerKind::kGlobalAvgPool, .name = fresh(),
+                        .fuse_relu = relu});
+        h = w = 1;
+        break;
+      case 5:  // nearest-neighbour upsample
+        model.add(Layer{.kind = LayerKind::kUpsample, .name = fresh(), .kernel = 2,
+                        .fuse_relu = relu});
+        h *= 2;
+        w *= 2;
+        break;
+      case 6:  // standalone activation
+        model.add(Layer{.kind = LayerKind::kRelu, .name = fresh()});
+        break;
+      case 7: {  // fully connected (flattens)
+        const int out = pick(1, 8);
+        model.add(Layer{.kind = LayerKind::kFc, .name = fresh(), .out_c = out,
+                        .fuse_relu = relu});
+        c = out;
+        h = w = 1;
+        break;
+      }
+      case 8: {  // branch from the current tail, re-join with add or concat
+        const int base = static_cast<int>(model.layers().size()) - 1;
+        const bool use_add = coin();
+        const int c1 = pick(1, 6);
+        const int c2 = use_add ? c1 : pick(1, 6);
+        const int b1 = model.add(Layer{.kind = LayerKind::kConv, .name = fresh(),
+                                       .kernel = 1, .out_c = c1, .fuse_relu = coin(),
+                                       .inputs = {base}});
+        const int b2 = model.add(Layer{.kind = LayerKind::kConv, .name = fresh(),
+                                       .kernel = 1, .out_c = c2, .inputs = {base}});
+        model.add(Layer{.kind = use_add ? LayerKind::kAdd : LayerKind::kConcat,
+                        .name = fresh(), .fuse_relu = relu, .inputs = {b1, b2}});
+        c = use_add ? c1 : c1 + c2;
+        break;
+      }
+    }
+  }
+  model.infer_shapes();
+  return model;
+}
+
+TEST(Property, RandomizedAllKindDfgRoundTripIsIdentity) {
+  // parse_arch_def(to_arch_def(m)) == m over randomized DFGs drawn from
+  // every registered layer kind (the registry's emit and parse_check
+  // functors are exact inverses), plus emission idempotence.
+  std::set<int> kinds_seen;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const CnnModel model = random_model(seed);
+    for (const Layer& layer : model.layers()) {
+      kinds_seen.insert(static_cast<int>(layer.kind));
+    }
+    const std::string text = to_arch_def(model);
+    CnnModel again = parse_arch_def(text);
+    again.infer_shapes();
+    EXPECT_EQ(again, model) << "seed " << seed << " round trip changed:\n" << text;
+    EXPECT_EQ(to_arch_def(again), text) << "seed " << seed;
+  }
+  // 30 seeds must exercise the whole registry, or the property is weaker
+  // than it claims.
+  EXPECT_EQ(kinds_seen.size(), static_cast<std::size_t>(kLayerKindCount));
 }
 
 TEST(Property, ArchDefErrorsCarryLineNumbers) {

@@ -9,7 +9,7 @@
 //       index line, DRC-gates the checkpoint and runs fpgalint over it.
 //   fpgadb [--dir DIR] [--json] gc --keep-reachable MODEL[,MODEL...]
 //       removes every entry not reachable from the named bundled models
-//       (lenet | resblock | vgg16) on the simulated device.
+//       (any cnn/zoo.h name) on the simulated device.
 //
 // The store directory defaults to FPGASIM_STORE_DIR. `--json` output is
 // deterministic (sorted, no timing), so reports are byte-identical for
@@ -26,6 +26,7 @@
 
 #include "cnn/impl.h"
 #include "cnn/model.h"
+#include "cnn/zoo.h"
 #include "drc/drc.h"
 #include "flow/build.h"
 #include "flow/store.h"
@@ -46,11 +47,12 @@ void usage(std::FILE* to) {
                "  verify                        hash + DRC + lint every entry\n"
                "  gc --keep-reachable MODELS    drop entries no listed model needs\n"
                "                                (MODELS: comma-separated subset of\n"
-               "                                 lenet,resblock,vgg16)\n"
+               "                                 %s)\n"
                "\n"
                "options:\n"
                "  --dir DIR   store directory (default: $FPGASIM_STORE_DIR)\n"
-               "  --json      machine-readable output (deterministic)\n");
+               "  --json      machine-readable output (deterministic)\n",
+               zoo_model_names(",").c_str());
 }
 
 /// Component kind prefix of a signature ("conv", "pool", "fork", ...).
@@ -63,21 +65,10 @@ std::string kind_of(const std::string& key) {
 /// store keys a model's sessions resolve are derived from these.
 bool model_requests(const std::string& name, const Device& device,
                     std::vector<std::string>& keys) {
-  CnnModel model;
-  long dsp = 64;
-  int max_tile = 32;
-  if (name == "lenet") {
-    model = make_lenet5();
-  } else if (name == "resblock") {
-    model = make_resblock_net();
-  } else if (name == "vgg16") {
-    model = make_vgg16();
-    dsp = 384;
-    max_tile = 14;
-  } else {
-    return false;
-  }
-  const ModelImpl impl = choose_implementation(model, dsp, max_tile);
+  const ZooEntry* entry = find_zoo_model(name);
+  if (entry == nullptr) return false;
+  const CnnModel model = entry->make();
+  const ModelImpl impl = choose_implementation(model, entry->dsp_budget, entry->max_tile);
   const auto groups = default_grouping(model);
   for (const ComponentRequest& request : component_requests(model, impl, groups)) {
     keys.push_back(request.key);
@@ -207,8 +198,8 @@ int run_gc(CheckpointStore& store, const std::string& models, bool json) {
     }
     if (name.empty()) continue;
     if (!model_requests(name, device, keep_keys)) {
-      std::fprintf(stderr, "fpgadb: unknown model '%s' (lenet | resblock | vgg16)\n",
-                   name.c_str());
+      std::fprintf(stderr, "fpgadb: unknown model '%s' (%s)\n", name.c_str(),
+                   zoo_model_names().c_str());
       return 2;
     }
     name.clear();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cnn/model.h"
+#include "cnn/zoo.h"
 #include "flow/build.h"
 #include "flow/preimpl.h"
 #include "lint/lint.h"
@@ -35,11 +36,12 @@ void usage(std::FILE* to) {
                "  --waive RULE   waive a rule id (repeatable); waived findings are\n"
                "                 reported but never fail the run\n"
                "  --model NAME   lint the composed design of a bundled network\n"
-               "                 (lenet | resblock | vgg16) built through the\n"
-               "                 pre-implemented flow\n"
+               "                 (%s)\n"
+               "                 built through the pre-implemented flow\n"
                "  --dsp N        DSP budget for --model (default 64)\n"
                "  --rules        print the rule table and exit\n"
-               "  -h, --help     this message\n");
+               "  -h, --help     this message\n",
+               fpgasim::zoo_model_names().c_str());
 }
 
 void print_rules() {
@@ -127,25 +129,15 @@ int main(int argc, char** argv) {
   }
 
   if (!model_name.empty()) {
-    CnnModel model;
-    int max_tile = 32;
-    if (model_name == "lenet") {
-      model = make_lenet5();
-      if (dsp_budget < 0) dsp_budget = 64;
-    } else if (model_name == "resblock") {
-      model = make_resblock_net();
-      if (dsp_budget < 0) dsp_budget = 64;
-    } else if (model_name == "vgg16") {
-      // The VGG example's "--quick" configuration; larger tiles than this
-      // fail macro placement on the simulated device.
-      model = make_vgg16();
-      max_tile = 14;
-      if (dsp_budget < 0) dsp_budget = 384;
-    } else {
-      std::fprintf(stderr, "fpgalint: unknown model '%s' (lenet | resblock | vgg16)\n",
-                   model_name.c_str());
+    const ZooEntry* entry = find_zoo_model(model_name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "fpgalint: unknown model '%s' (%s)\n", model_name.c_str(),
+                   zoo_model_names().c_str());
       return 2;
     }
+    const CnnModel model = entry->make();
+    const int max_tile = entry->max_tile;
+    if (dsp_budget < 0) dsp_budget = entry->dsp_budget;
     const Device device = make_xcku5p_sim();
     const ModelImpl impl = choose_implementation(model, dsp_budget, max_tile);
     const std::vector<std::vector<int>> groups = default_grouping(model);

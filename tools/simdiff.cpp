@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cnn/model.h"
+#include "cnn/zoo.h"
 #include "flow/build.h"
 #include "flow/monolithic.h"
 #include "flow/preimpl.h"
@@ -32,7 +33,7 @@ void usage(std::FILE* to) {
                "usage: simdiff [options] [checkpoint.fdcp ...]\n"
                "\n"
                "options:\n"
-               "  --model NAME   check a bundled network (lenet | resblock | vgg16)\n"
+               "  --model NAME   check a bundled network (%s)\n"
                "                 composed through the pre-implemented flow\n"
                "  --mono         with --model, also check the monolithic baseline\n"
                "  --dsp N        DSP budget for --model (default per model)\n"
@@ -40,7 +41,8 @@ void usage(std::FILE* to) {
                "  --seed S       stimulus seed (default 1)\n"
                "  --lanes N      interpreter replays of the 64-lane batch: 0 = all,\n"
                "                 else N evenly spread lanes (default 4)\n"
-               "  -h, --help     this message\n");
+               "  -h, --help     this message\n",
+               fpgasim::zoo_model_names().c_str());
 }
 
 }  // namespace
@@ -119,23 +121,15 @@ int main(int argc, char** argv) {
   }
 
   if (!model_name.empty()) {
-    CnnModel model;
-    int max_tile = 32;
-    if (model_name == "lenet") {
-      model = make_lenet5();
-      if (dsp_budget < 0) dsp_budget = 64;
-    } else if (model_name == "resblock") {
-      model = make_resblock_net();
-      if (dsp_budget < 0) dsp_budget = 64;
-    } else if (model_name == "vgg16") {
-      model = make_vgg16();
-      max_tile = 14;
-      if (dsp_budget < 0) dsp_budget = 384;
-    } else {
-      std::fprintf(stderr, "simdiff: unknown model '%s' (lenet | resblock | vgg16)\n",
-                   model_name.c_str());
+    const ZooEntry* entry = find_zoo_model(model_name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "simdiff: unknown model '%s' (%s)\n", model_name.c_str(),
+                   zoo_model_names().c_str());
       return 2;
     }
+    const CnnModel model = entry->make();
+    const int max_tile = entry->max_tile;
+    if (dsp_budget < 0) dsp_budget = entry->dsp_budget;
     try {
       const Device device = make_xcku5p_sim();
       const ModelImpl impl = choose_implementation(model, dsp_budget, max_tile);

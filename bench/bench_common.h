@@ -72,28 +72,37 @@ struct SimThroughput {
   double compiled_lane_cps = 0.0; // compiled lane-cycles/second
   double speedup = 0.0;           // compiled_lane_cps / interp_cps
   std::size_t levels = 0, comb_ops = 0, seq_ops = 0, state_words = 0;
-  std::uint64_t compiled_cycles = 0;  // CompiledSim::cycle() after the run
+  std::uint64_t compiled_cycles = 0;  // SimContext::cycle() after a rep
   std::string ab_diff;                // "" = bit-identical on the A/B check
+  int reps = 0;                       // compiled timing repetitions (best-of)
+  std::uint64_t plans_compiled = 0;   // SimPlan compilations this measurement
   // Fold of the observed outputs; keeps the timed loops from being
   // dead-code eliminated (never compared: lanes see different stimulus).
   std::uint64_t interp_checksum = 0, compiled_checksum = 0;
 
   bool ok() const {
-    return ab_diff.empty() && compiled_cycles == static_cast<std::uint64_t>(cycles);
+    return ab_diff.empty() && compiled_cycles == static_cast<std::uint64_t>(cycles) &&
+           plans_compiled == 1;
   }
 };
 
 /// Times the interpreter and the compiled simulator on `cycles` cycles of
 /// seeded random stimulus over every input port, after first proving them
-/// bit-identical on sampled lanes via the A/B oracle.
+/// bit-identical on sampled lanes via the A/B oracle. The netlist is
+/// compiled into a SimPlan exactly once — the A/B check and every timing
+/// repetition reuse it (each rep gets a fresh context; best-of-`reps`
+/// wall time is reported) — and the compile counter delta is recorded so
+/// ok() can assert the reuse actually happened.
 inline SimThroughput measure_sim_throughput(const Netlist& netlist,
                                             const std::string& workload, int cycles,
-                                            std::uint64_t seed = 7, int ab_cycles = 12) {
+                                            std::uint64_t seed = 7, int ab_cycles = 12,
+                                            int reps = 3) {
   SimThroughput r;
   r.workload = workload;
   r.cells = netlist.cell_count();
   r.nets = netlist.net_count();
   r.cycles = cycles;
+  r.reps = reps;
 
   std::vector<const Port*> ins;
   const Port* first_out = nullptr;
@@ -102,21 +111,22 @@ inline SimThroughput measure_sim_throughput(const Netlist& netlist,
     else if (!first_out) first_out = &port;
   }
 
-  // Bit-exactness first: the throughput numbers only count if the engines
-  // agree on the same workload.
-  static constexpr std::array<int, 3> kAbLanes{0, 31, 63};
-  r.ab_diff = compare_compiled_vs_interpreter(netlist, ab_cycles, seed, kAbLanes);
-
+  const std::uint64_t plans_before = SimPlan::plans_compiled();
   Stopwatch compile_watch;
-  CompiledSim cs(netlist);
+  const std::shared_ptr<const SimPlan> plan = SimPlan::compile(netlist);
   r.compile_seconds = compile_watch.seconds();
-  r.levels = cs.levels();
-  r.comb_ops = cs.comb_ops();
-  r.seq_ops = cs.seq_ops();
-  r.state_words = cs.state_words();
+  r.levels = plan->levels();
+  r.comb_ops = plan->comb_ops();
+  r.seq_ops = plan->seq_ops();
+  r.state_words = plan->context_words() + plan->shared_words();
   std::vector<int> in_idx;
-  for (const Port* p : ins) in_idx.push_back(cs.input_index(p->name));
-  const int out_idx = first_out ? cs.output_index(first_out->name) : -1;
+  for (const Port* p : ins) in_idx.push_back(plan->input_index(p->name));
+  const int out_idx = first_out ? plan->output_index(first_out->name) : -1;
+
+  // Bit-exactness first: the throughput numbers only count if the engines
+  // agree on the same workload (same plan — no recompilation).
+  static constexpr std::array<int, 3> kAbLanes{0, 31, 63};
+  r.ab_diff = compare_compiled_vs_interpreter(netlist, ab_cycles, seed, kAbLanes, plan);
 
   {
     Simulator sim(netlist);
@@ -131,23 +141,31 @@ inline SimThroughput measure_sim_throughput(const Netlist& netlist,
     r.interp_settles = sim.settles();
     r.in_ports = ins.size();
   }
-  {
+  // Compiled side: best-of-`reps` to shed scheduler noise. Every rep
+  // replays the identical stimulus on a fresh context of the SAME plan, so
+  // checksum and cycle count are rep-invariant.
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    SimContext ctx(plan);
     Rng rng(seed + 1);
-    std::array<std::uint64_t, CompiledSim::kLanes> lanes;
+    std::array<std::uint64_t, SimPlan::kLanes> lanes;
+    std::uint64_t checksum = 0;
     Stopwatch watch;
     for (int c = 0; c < cycles; ++c) {
       for (const int idx : in_idx) {
         for (std::uint64_t& v : lanes) v = rng();
-        cs.set_inputs(idx, lanes);
+        ctx.set_inputs(idx, lanes);
       }
-      cs.step();
+      ctx.step();
       if (out_idx >= 0) {
-        r.compiled_checksum ^= cs.get_output(out_idx, static_cast<std::size_t>(c) % 64);
+        checksum ^= ctx.get_output(out_idx, static_cast<std::size_t>(c) % 64);
       }
     }
-    r.compiled_seconds = watch.seconds();
+    const double secs = watch.seconds();
+    if (rep == 0 || secs < r.compiled_seconds) r.compiled_seconds = secs;
+    r.compiled_checksum = checksum;
+    r.compiled_cycles = ctx.cycle();
   }
-  r.compiled_cycles = cs.cycle();
+  r.plans_compiled = SimPlan::plans_compiled() - plans_before;
   if (r.interp_seconds > 0.0) r.interp_cps = cycles / r.interp_seconds;
   if (r.compiled_seconds > 0.0) {
     r.compiled_lane_cps =
@@ -159,9 +177,12 @@ inline SimThroughput measure_sim_throughput(const Netlist& netlist,
 
 inline void print_sim_throughput(const SimThroughput& r) {
   std::printf("sim throughput [%s]: %zu cells, %d cycles | interpreter %.0f cyc/s, "
-              "compiled %.0f lane-cyc/s (%zu levels, %zu ops) -> %.1fx%s\n",
+              "compiled %.0f lane-cyc/s (%zu levels, %zu ops, best of %d reps, "
+              "%llu plan compile%s) -> %.1fx%s\n",
               r.workload.c_str(), r.cells, r.cycles, r.interp_cps, r.compiled_lane_cps,
-              r.levels, r.comb_ops + r.seq_ops, r.speedup,
+              r.levels, r.comb_ops + r.seq_ops, r.reps,
+              static_cast<unsigned long long>(r.plans_compiled),
+              r.plans_compiled == 1 ? "" : "s (EXPECTED 1)", r.speedup,
               r.ab_diff.empty() ? "" : "  A/B DIVERGED");
   if (!r.ab_diff.empty()) std::fprintf(stderr, "FAIL %s: %s\n", r.workload.c_str(),
                                        r.ab_diff.c_str());
@@ -199,6 +220,8 @@ inline void emit_sim_throughput(JsonWriter& json, const SimThroughput& r) {
   json.key("speedup").value(r.speedup);
   json.key("bit_identical").value(r.ab_diff.empty());
   json.key("compiled_cycles_run").value(static_cast<std::size_t>(r.compiled_cycles));
+  json.key("reps").value(static_cast<std::size_t>(r.reps));
+  json.key("plans_compiled").value(static_cast<std::size_t>(r.plans_compiled));
   json.end_object();
 }
 

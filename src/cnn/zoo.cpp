@@ -81,6 +81,64 @@ CnnModel make_unet() {
   return model;
 }
 
+CnnModel make_inception_block() {
+  CnnModel model("inception");
+  model.add(Layer{.kind = LayerKind::kInput, .name = "in", .out_shape = Shape{4, 8, 8}});
+  const int stem = model.add(Layer{
+      .kind = LayerKind::kConv, .name = "stem", .kernel = 3, .out_c = 8, .fuse_relu = true});
+  // Four branches off the stem (8@6x6). Valid padding means a concat
+  // needs every branch at the same spatial shape, so each branch reduces
+  // 6x6 -> 4x4 with exactly one 3x3 (the 1x1s are shape-preserving).
+  const int b1 = model.add(Layer{.kind = LayerKind::kConv,
+                                 .name = "b1",
+                                 .kernel = 3,
+                                 .out_c = 4,
+                                 .fuse_relu = true,
+                                 .inputs = {stem}});
+  const int b2r = model.add(Layer{.kind = LayerKind::kConv,
+                                  .name = "b2r",
+                                  .kernel = 1,
+                                  .out_c = 2,
+                                  .fuse_relu = true,
+                                  .inputs = {stem}});
+  const int b2 = model.add(Layer{.kind = LayerKind::kConv,
+                                 .name = "b2",
+                                 .kernel = 3,
+                                 .out_c = 4,
+                                 .fuse_relu = true,
+                                 .inputs = {b2r}});
+  // "5x5 surrogate": Inception-v2-style reduction branch, narrower still.
+  const int b3r = model.add(Layer{.kind = LayerKind::kConv,
+                                  .name = "b3r",
+                                  .kernel = 1,
+                                  .out_c = 2,
+                                  .fuse_relu = true,
+                                  .inputs = {stem}});
+  const int b3 = model.add(Layer{.kind = LayerKind::kConv,
+                                 .name = "b3",
+                                 .kernel = 3,
+                                 .out_c = 2,
+                                 .fuse_relu = true,
+                                 .inputs = {b3r}});
+  // Depthwise-separable branch: the dw/pw pair fuses into one component
+  // under default_grouping, same as the MobileNet blocks.
+  const int b4d = model.add(Layer{
+      .kind = LayerKind::kDwConv, .name = "b4d", .kernel = 3, .fuse_relu = true,
+      .inputs = {stem}});
+  const int b4 = model.add(Layer{.kind = LayerKind::kConv,
+                                 .name = "b4",
+                                 .kernel = 1,
+                                 .out_c = 2,
+                                 .fuse_relu = true,
+                                 .inputs = {b4d}});
+  model.add(Layer{
+      .kind = LayerKind::kConcat, .name = "cat", .inputs = {b1, b2, b3, b4}});
+  model.add(Layer{.kind = LayerKind::kGlobalAvgPool, .name = "gap"});  // 4x4 window
+  model.add(Layer{.kind = LayerKind::kFc, .name = "head", .out_c = 10});
+  model.infer_shapes();
+  return model;
+}
+
 const std::vector<ZooEntry>& model_zoo() {
   static const std::vector<ZooEntry> zoo = {
       {"lenet", "LeNet-5 (paper Table III)", make_lenet5, 64, 32},
@@ -89,6 +147,7 @@ const std::vector<ZooEntry>& model_zoo() {
       {"mobilenet", "MobileNet-v1 style (dw/pw separable)", make_mobilenet_v1, 64, 32},
       {"resnet18", "ResNet-18 style (two residual stages)", make_resnet18, 64, 32},
       {"unet", "U-Net style (upsample + skip concat)", make_unet, 64, 32},
+      {"inception", "Inception style (4-way fork -> concat)", make_inception_block, 64, 32},
   };
   return zoo;
 }

@@ -47,4 +47,12 @@ CnnModel make_resnet18();
 /// feature map, decoder conv and an FC head. Exercises upsample + concat.
 CnnModel make_unet();
 
+/// Inception-style block: conv stem, a 4-way stream fork whose branches
+/// (3x3 conv; 1x1->3x3 reduce; 1x1->3x3 "5x5 surrogate"; depthwise 3x3 +
+/// pointwise 1x1) all map 6x6 -> 4x4 so a 4-input concat is shape-legal
+/// under valid padding, then global average pooling and an FC classifier.
+/// The widest fork/join in the zoo: one producer feeding four consumers
+/// and a 4-way kConcat join.
+CnnModel make_inception_block();
+
 }  // namespace fpgasim

@@ -1,6 +1,7 @@
 #include "sim/compiled.h"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <stdexcept>
 
@@ -12,15 +13,21 @@
 namespace fpgasim {
 namespace {
 
-constexpr std::size_t kLanes = CompiledSim::kLanes;
+constexpr std::size_t kLanes = SimPlan::kLanes;
 
 std::uint64_t width_mask(int width) {
   return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
 }
 
+std::atomic<std::uint64_t> g_plans_compiled{0};
+
 }  // namespace
 
-CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
+std::uint64_t SimPlan::plans_compiled() {
+  return g_plans_compiled.load(std::memory_order_relaxed);
+}
+
+SimPlan::SimPlan(const Netlist& netlist) : name_(netlist.name()) {
   net_count_ = netlist.net_count();
   const auto slot_of = [](NetId n) { return static_cast<std::uint32_t>(n * kLanes); };
 
@@ -200,9 +207,15 @@ CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
   }
 
   // Sequential plan, in cell order (deterministic; order is semantically
-  // irrelevant thanks to the two-phase edge).
+  // irrelevant thanks to the two-phase edge). The memory address space is
+  // split at compile time: read-only BRAMs (no write port) hold
+  // lane-invariant contents, so one copy lives in the PLAN and is shared
+  // by every context (a VGG coefficient set would otherwise cost 64x per
+  // context); writable memories get a lane-major copy in each context's
+  // arena.
   std::size_t pipe_words = 0;
-  std::size_t mem_words = 0;
+  std::size_t rom_words = 0;
+  std::size_t wmem_words = 0;
   std::uint32_t capture_index = 0;
   for (CellId c = 0; c < netlist.cell_count(); ++c) {
     const Cell& cell = netlist.cell(c);
@@ -235,12 +248,14 @@ CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
         const bool has_raddr = cell.inputs.size() > 3 && cell.inputs[3] != kInvalidNet;
         sq.raddr = has_raddr ? slot_of(cell.inputs[3]) : sq.waddr;
         sq.mem_depth = cell.bram_depth;
-        // A BRAM that can never be written holds lane-invariant contents:
-        // keep one shared copy (VGG coefficient ROMs would otherwise cost
-        // 64x the memory). Writable memories get a lane-major copy each.
         sq.mem_shared = !sq.has_we;
-        sq.mem_base = static_cast<std::uint32_t>(mem_words);
-        mem_words += sq.mem_shared ? sq.mem_depth : sq.mem_depth * kLanes;
+        if (sq.mem_shared) {
+          sq.mem_base = static_cast<std::uint32_t>(rom_words);
+          rom_words += sq.mem_depth;
+        } else {
+          sq.mem_base = static_cast<std::uint32_t>(wmem_words);
+          wmem_words += static_cast<std::size_t>(sq.mem_depth) * kLanes;
+        }
         break;
       }
       default:
@@ -255,8 +270,6 @@ CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
     }
     seq_.push_back(sq);
   }
-  seq_head_.assign(seq_.size(), 0);
-  seq_en_.assign(seq_.size(), 0);
   std::uint32_t max_depth = 1;
   for (const SeqOp& sq : seq_) max_depth = std::max(max_depth, sq.depth);
 
@@ -300,154 +313,259 @@ CompiledSim::CompiledSim(const Netlist& netlist) : name_(netlist.name()) {
     if (port.width > 32) narrow_ = false;
   }
 
-  const std::size_t ring_elems = static_cast<std::size_t>(max_depth) * kLanes;
+  // Per-context arena layout. Every section is a whole number of 64-wide
+  // lane groups, so each starts cache-line aligned regardless of lane
+  // width; align_elems guards the invariant if a section ever stops being
+  // group-granular.
+  const std::size_t elem_bytes = narrow_ ? 4 : 8;
+  layout_.state_elems = state_elems;
+  layout_.pipe_elems = pipe_words;
+  layout_.next_elems = seq_.size() * kLanes;
+  layout_.ring_elems = static_cast<std::size_t>(max_depth) * kLanes;
+  layout_.wmem_elems = wmem_words;
+  layout_.state = 0;
+  layout_.pipe = layout_.state + align_elems(layout_.state_elems, elem_bytes);
+  layout_.next = layout_.pipe + align_elems(layout_.pipe_elems, elem_bytes);
+  layout_.ring = layout_.next + align_elems(layout_.next_elems, elem_bytes);
+  layout_.wmem = layout_.ring + align_elems(layout_.ring_elems, elem_bytes);
+  layout_.total = layout_.wmem + align_elems(layout_.wmem_elems, elem_bytes);
+
   if (narrow_) {
-    init_state<std::uint32_t>(netlist, state_elems, pipe_words, mem_words, ring_elems);
+    build_init_images<std::uint32_t>(netlist);
   } else {
-    init_state<std::uint64_t>(netlist, state_elems, pipe_words, mem_words, ring_elems);
+    build_init_images<std::uint64_t>(netlist);
   }
-  settle();
+  g_plans_compiled.fetch_add(1, std::memory_order_relaxed);
 }
 
 template <typename W>
-void CompiledSim::init_state(const Netlist& netlist, std::size_t state_elems,
-                             std::size_t pipe_elems, std::size_t mem_elems,
-                             std::size_t ring_elems) {
-  std::vector<W>& state = state_vec<W>();
-  state.assign(state_elems, 0);
-  pipe_vec<W>().assign(pipe_elems, 0);
-  next_vec<W>().assign(seq_.size() * kLanes, 0);
-  ring_vec<W>().assign(ring_elems, 0);
-  std::vector<W>& mem = mem_vec<W>();
-  mem.assign(mem_elems, 0);
+void SimPlan::build_init_images(const Netlist& netlist) {
+  constexpr bool kNarrowW = sizeof(W) == 4;
+  auto& init_state = [this]() -> std::vector<W>& {
+    if constexpr (kNarrowW) return init_state32_; else return init_state64_;
+  }();
+  auto& rom = [this]() -> std::vector<W>& {
+    if constexpr (kNarrowW) return rom32_; else return rom64_;
+  }();
+  auto& init_wmem = [this]() -> std::vector<W>& {
+    if constexpr (kNarrowW) return init_wmem32_; else return init_wmem64_;
+  }();
+  init_state.assign(layout_.state_elems, 0);
+  init_wmem.assign(layout_.wmem_elems, 0);
 
-  // Fold constants into the initial state; they never change.
+  // Fold constants into the initial state image; they never change, so
+  // contexts inherit them on construction and reset.
   for (CellId c = 0; c < netlist.cell_count(); ++c) {
     const Cell& cell = netlist.cell(c);
     if (cell.type != CellType::kConst) continue;
     const W v = static_cast<W>(mask_width(cell.init, cell.width));
     for (NetId out : cell.outputs) {
       if (out == kInvalidNet) continue;
-      std::fill_n(&state[out * kLanes], kLanes, v);
+      std::fill_n(&init_state[out * kLanes], kLanes, v);
     }
   }
 
-  // ROM preloads.
+  // ROM preloads: read-only memories into the shared plan image, writable
+  // ROM-initialized memories into the per-context initial image.
+  std::size_t rom_total = 0;
+  for (const SeqOp& sq : seq_) {
+    if (sq.mem_shared) rom_total += sq.mem_depth;
+  }
+  rom.assign(rom_total, 0);
   std::size_t si = 0;
   for (CellId c = 0; c < netlist.cell_count(); ++c) {
     const Cell& cell = netlist.cell(c);
     if (!is_sequential_cell(cell)) continue;
     SeqOp& sq = seq_[si++];
     if (cell.type != CellType::kBram || cell.rom_id < 0) continue;
-    const auto& rom = netlist.rom(cell.rom_id);
-    for (std::size_t i = 0; i < sq.mem_depth && i < rom.size(); ++i) {
-      const W v = static_cast<W>(mask_width(rom[i], cell.width));
+    const auto& image = netlist.rom(cell.rom_id);
+    for (std::size_t i = 0; i < sq.mem_depth && i < image.size(); ++i) {
+      const W v = static_cast<W>(mask_width(image[i], cell.width));
       if (sq.mem_shared) {
-        mem[sq.mem_base + i] = v;
+        rom[sq.mem_base + i] = v;
       } else {
-        std::fill_n(&mem[sq.mem_base + i * kLanes], kLanes, v);
+        std::fill_n(&init_wmem[sq.mem_base + i * kLanes], kLanes, v);
       }
     }
   }
 }
 
-template <typename W> std::vector<W>& CompiledSim::state_vec() const {
-  if constexpr (sizeof(W) == 4) return state32_; else return state64_;
-}
-template <typename W> std::vector<W>& CompiledSim::pipe_vec() {
-  if constexpr (sizeof(W) == 4) return pipe32_; else return pipe64_;
-}
-template <typename W> std::vector<W>& CompiledSim::mem_vec() {
-  if constexpr (sizeof(W) == 4) return mem32_; else return mem64_;
-}
-template <typename W> std::vector<W>& CompiledSim::next_vec() {
-  if constexpr (sizeof(W) == 4) return next32_; else return next64_;
-}
-template <typename W> std::vector<W>& CompiledSim::ring_vec() {
-  if constexpr (sizeof(W) == 4) return ring32_; else return ring64_;
-}
-
-int CompiledSim::input_index(const std::string& name) const {
+int SimPlan::input_index(const std::string& name) const {
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     if (inputs_[i].name == name) return static_cast<int>(i);
   }
   throw std::runtime_error("compiled sim: no input port '" + name + "'");
 }
 
-int CompiledSim::output_index(const std::string& name) const {
+int SimPlan::output_index(const std::string& name) const {
   for (std::size_t i = 0; i < outputs_.size(); ++i) {
     if (outputs_[i].name == name) return static_cast<int>(i);
   }
   throw std::runtime_error("compiled sim: no output port '" + name + "'");
 }
 
-void CompiledSim::set_inputs(int input, std::span<const std::uint64_t> lanes) {
-  const PortPlan& port = inputs_[static_cast<std::size_t>(input)];
+SimContext::SimContext(std::shared_ptr<const SimPlan> plan) : plan_(std::move(plan)) {
+  const SimPlan& p = *plan_;
+  if (p.narrow_) {
+    arena32_.resize(p.layout_.total);
+    reset_impl<std::uint32_t>();
+  } else {
+    arena64_.resize(p.layout_.total);
+    reset_impl<std::uint64_t>();
+  }
+}
+
+void SimContext::reset() {
+  ++resets_;
+  if (plan_->narrow_) reset_impl<std::uint32_t>();
+  else reset_impl<std::uint64_t>();
+}
+
+template <typename W>
+void SimContext::reset_impl() {
+  const SimPlan& p = *plan_;
+  // Re-image state + writable memories, flush pipes and scratch — all into
+  // the existing arena, no reallocation (the serving engine resets a
+  // context per batch).
+  const auto& init_state = p.init_state_vec<W>();
+  std::copy(init_state.begin(), init_state.end(), state_base<W>());
+  std::fill_n(pipe_base<W>(), p.layout_.pipe_elems, W{0});
+  std::fill_n(next_base<W>(), p.layout_.next_elems, W{0});
+  std::fill_n(ring_base<W>(), p.layout_.ring_elems, W{0});
+  const auto& init_wmem = p.init_wmem_vec<W>();
+  std::copy(init_wmem.begin(), init_wmem.end(), wmem_base<W>());
+  seq_head_.assign(p.seq_.size(), 0);
+  seq_en_.assign(p.seq_.size(), 0);
+  cycle_ = 0;
+  settle();
+}
+
+void SimContext::set_inputs(int input, std::span<const std::uint64_t> lanes) {
+  const SimPlan::PortPlan& port = plan_->inputs_[static_cast<std::size_t>(input)];
   const std::uint64_t m = width_mask(port.width);
   const std::size_t n = std::min(lanes.size(), kLanes);
-  if (narrow_) {
-    std::uint32_t* v = &state32_[port.slot];
+  if (plan_->narrow_) {
+    std::uint32_t* v = state_base<std::uint32_t>() + port.slot;
     for (std::size_t l = 0; l < n; ++l) v[l] = static_cast<std::uint32_t>(lanes[l] & m);
   } else {
-    std::uint64_t* v = &state64_[port.slot];
+    std::uint64_t* v = state_base<std::uint64_t>() + port.slot;
     for (std::size_t l = 0; l < n; ++l) v[l] = lanes[l] & m;
   }
   dirty_ = true;
 }
 
-void CompiledSim::set_inputs(int input, std::uint64_t value_all_lanes) {
-  const PortPlan& port = inputs_[static_cast<std::size_t>(input)];
+void SimContext::set_inputs(int input, std::uint64_t value_all_lanes) {
+  const SimPlan::PortPlan& port = plan_->inputs_[static_cast<std::size_t>(input)];
   const std::uint64_t v = value_all_lanes & width_mask(port.width);
-  if (narrow_) {
-    std::fill_n(&state32_[port.slot], kLanes, static_cast<std::uint32_t>(v));
+  if (plan_->narrow_) {
+    std::fill_n(state_base<std::uint32_t>() + port.slot, kLanes,
+                static_cast<std::uint32_t>(v));
   } else {
-    std::fill_n(&state64_[port.slot], kLanes, v);
+    std::fill_n(state_base<std::uint64_t>() + port.slot, kLanes, v);
   }
   dirty_ = true;
 }
 
-void CompiledSim::get_outputs(int output, std::span<std::uint64_t> lanes) const {
+void SimContext::set_input_frame(std::span<const std::uint64_t> frame) {
+  const auto& inputs = plan_->inputs_;
+  if (plan_->narrow_) {
+    std::uint32_t* state = state_base<std::uint32_t>();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::uint64_t m = width_mask(inputs[i].width);
+      const std::uint64_t* src = frame.data() + i * kLanes;
+      std::uint32_t* v = state + inputs[i].slot;
+      for (std::size_t l = 0; l < kLanes; ++l) v[l] = static_cast<std::uint32_t>(src[l] & m);
+    }
+  } else {
+    std::uint64_t* state = state_base<std::uint64_t>();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::uint64_t m = width_mask(inputs[i].width);
+      const std::uint64_t* src = frame.data() + i * kLanes;
+      std::uint64_t* v = state + inputs[i].slot;
+      for (std::size_t l = 0; l < kLanes; ++l) v[l] = src[l] & m;
+    }
+  }
+  dirty_ = true;
+}
+
+void SimContext::get_output_frame(std::span<std::uint64_t> frame) const {
   settle_if_dirty();
-  const PortPlan& port = outputs_[static_cast<std::size_t>(output)];
+  const auto& outputs = plan_->outputs_;
+  if (plan_->narrow_) {
+    const std::uint32_t* state = state_base<std::uint32_t>();
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      const std::uint32_t* v = state + outputs[o].slot;
+      std::uint64_t* dst = frame.data() + o * kLanes;
+      for (std::size_t l = 0; l < kLanes; ++l) dst[l] = v[l];
+    }
+  } else {
+    const std::uint64_t* state = state_base<std::uint64_t>();
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      std::copy_n(state + outputs[o].slot, kLanes, frame.data() + o * kLanes);
+    }
+  }
+}
+
+void SimContext::get_outputs(int output, std::span<std::uint64_t> lanes) const {
+  settle_if_dirty();
+  const SimPlan::PortPlan& port = plan_->outputs_[static_cast<std::size_t>(output)];
   const std::size_t n = std::min(lanes.size(), kLanes);
-  if (narrow_) {
-    const std::uint32_t* v = &state32_[port.slot];
+  if (plan_->narrow_) {
+    const std::uint32_t* v = state_base<std::uint32_t>() + port.slot;
     for (std::size_t l = 0; l < n; ++l) lanes[l] = v[l];
   } else {
-    const std::uint64_t* v = &state64_[port.slot];
+    const std::uint64_t* v = state_base<std::uint64_t>() + port.slot;
     for (std::size_t l = 0; l < n; ++l) lanes[l] = v[l];
   }
 }
 
-std::uint64_t CompiledSim::get_output(int output, std::size_t lane) const {
+std::uint64_t SimContext::get_output(int output, std::size_t lane) const {
   settle_if_dirty();
-  const std::uint32_t slot = outputs_[static_cast<std::size_t>(output)].slot;
-  return narrow_ ? state32_[slot + lane] : state64_[slot + lane];
+  const std::uint32_t slot = plan_->outputs_[static_cast<std::size_t>(output)].slot;
+  return plan_->narrow_ ? state_base<std::uint32_t>()[slot + lane]
+                        : state_base<std::uint64_t>()[slot + lane];
 }
 
-std::uint64_t CompiledSim::peek_net(NetId net, std::size_t lane) const {
+std::uint64_t SimContext::peek_net(NetId net, std::size_t lane) const {
   settle_if_dirty();
-  return narrow_ ? state32_[net * kLanes + lane] : state64_[net * kLanes + lane];
+  return plan_->narrow_ ? state_base<std::uint32_t>()[net * kLanes + lane]
+                        : state_base<std::uint64_t>()[net * kLanes + lane];
+}
+
+std::uint64_t SimContext::state_digest() const {
+  settle_if_dirty();
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;  // FNV-1a 64
+  const std::size_t words = plan_->net_count_ * kLanes;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  if (plan_->narrow_) {
+    const std::uint32_t* s = state_base<std::uint32_t>();
+    for (std::size_t i = 0; i < words; ++i) h = (h ^ s[i]) * kPrime;
+  } else {
+    const std::uint64_t* s = state_base<std::uint64_t>();
+    for (std::size_t i = 0; i < words; ++i) h = (h ^ s[i]) * kPrime;
+  }
+  return h;
 }
 
 template <typename W>
-void CompiledSim::eval_op(const CombOp& op) const {
+void SimContext::eval_op(const SimPlan::CombOp& op) const {
   // Signed intermediates for compare/relu: 32-bit suffices for 32-bit
   // lanes (values are masked to <= 32 bits), 64-bit otherwise. The DSP
   // MAC always widens to 64-bit (see Op::kDsp below).
   using SW = std::conditional_t<sizeof(W) == 4, std::int32_t, std::int64_t>;
   using UW = std::make_unsigned_t<SW>;
   constexpr int kSWBits = sizeof(SW) * 8;
+  using Op = SimPlan::Op;
   // Sign-extend a w-bit lane value: shift left in the unsigned domain
   // (never overflows), arithmetic shift back.
   const auto sx = [](W v, int k) {
     return static_cast<SW>(static_cast<UW>(v) << k) >> k;
   };
-  std::vector<W>& state = state_vec<W>();
-  const W* a = &state[op.a];
-  const W* b = &state[op.b];
-  const W* c = &state[op.c];
-  W* o = &state[op.out];
+  W* state = state_base<W>();
+  const W* a = state + op.a;
+  const W* b = state + op.b;
+  const W* c = state + op.c;
+  W* o = state + op.out;
   const W m = static_cast<W>(op.mask);
   const int w = op.width;
   switch (op.op) {
@@ -478,7 +596,7 @@ void CompiledSim::eval_op(const CombOp& op) const {
       for (std::size_t l = 0; l < kLanes; ++l) o[l] = static_cast<W>(a[l] & m);
       break;
     case Op::kTruth6: {
-      const std::uint32_t* tin = &truth_inputs_[op.in_begin];
+      const std::uint32_t* tin = &plan_->truth_inputs_[op.in_begin];
       const std::uint64_t table = op.init;
       for (std::size_t l = 0; l < kLanes; ++l) {
         std::uint64_t index = 0;
@@ -577,48 +695,50 @@ void CompiledSim::eval_op(const CombOp& op) const {
     }
   }
   for (std::uint32_t f = 0; f < op.fan_count; ++f) {
-    std::copy_n(o, kLanes, &state[fanout_[op.fan_begin + f]]);
+    std::copy_n(o, kLanes, state + plan_->fanout_[op.fan_begin + f]);
   }
 }
 
-void CompiledSim::settle() const {
-  if (narrow_) settle_impl<std::uint32_t>(ops_);
-  else settle_impl<std::uint64_t>(ops_);
+void SimContext::settle() const {
+  if (plan_->narrow_) settle_impl<std::uint32_t>(plan_->ops_);
+  else settle_impl<std::uint64_t>(plan_->ops_);
 }
 
-void CompiledSim::settle_if_dirty() const {
+void SimContext::settle_if_dirty() const {
   if (!dirty_) return;
-  if (narrow_) settle_impl<std::uint32_t>(cone_ops_);
-  else settle_impl<std::uint64_t>(cone_ops_);
+  if (plan_->narrow_) settle_impl<std::uint32_t>(plan_->cone_ops_);
+  else settle_impl<std::uint64_t>(plan_->cone_ops_);
 }
 
 template <typename W>
-void CompiledSim::settle_impl(const std::vector<CombOp>& ops) const {
-  for (const CombOp& op : ops) eval_op<W>(op);
+void SimContext::settle_impl(const std::vector<SimPlan::CombOp>& ops) const {
+  for (const SimPlan::CombOp& op : ops) eval_op<W>(op);
   dirty_ = false;
 }
 
-void CompiledSim::step() {
-  if (narrow_) step_impl<std::uint32_t>();
+void SimContext::step() {
+  if (plan_->narrow_) step_impl<std::uint32_t>();
   else step_impl<std::uint64_t>();
 }
 
 template <typename W>
-void CompiledSim::step_impl() {
+void SimContext::step_impl() {
   settle_if_dirty();  // phase 1 must read a settled fabric
-  std::vector<W>& state = state_vec<W>();
-  std::vector<W>& pipe_state = pipe_vec<W>();
-  std::vector<W>& mem_state = mem_vec<W>();
-  std::vector<W>& seq_next = next_vec<W>();
-  std::vector<W>& ring_scratch = ring_vec<W>();
+  const SimPlan& p = *plan_;
+  W* state = state_base<W>();
+  W* pipe_state = pipe_base<W>();
+  W* seq_next = next_base<W>();
+  W* ring_scratch = ring_base<W>();
+  W* wmem_state = wmem_base<W>();
+  const W* rom_state = p.rom_vec<W>().data();
 
   // Phase 1: capture next values and enables for every sequential op.
-  for (std::size_t i = 0; i < seq_.size(); ++i) {
-    const SeqOp& sq = seq_[i];
+  for (std::size_t i = 0; i < p.seq_.size(); ++i) {
+    const SimPlan::SeqOp& sq = p.seq_[i];
     W* next = &seq_next[i * kLanes];
     std::uint64_t en = ~0ULL;
     if (sq.has_ce) {
-      const W* ce = &state[sq.ce];
+      const W* ce = state + sq.ce;
       en = 0;
       for (std::size_t l = 0; l < kLanes; ++l) {
         en |= static_cast<std::uint64_t>(ce[l] & 1) << l;
@@ -629,7 +749,7 @@ void CompiledSim::step_impl() {
     switch (sq.type) {
       case CellType::kFf:
       case CellType::kSrl: {
-        const W* d = &state[sq.d];
+        const W* d = state + sq.d;
         const W mask = static_cast<W>(sq.mask);
         for (std::size_t l = 0; l < kLanes; ++l) next[l] = static_cast<W>(d[l] & mask);
         break;
@@ -637,31 +757,31 @@ void CompiledSim::step_impl() {
       case CellType::kDsp: {
         // Compute the MAC once per edge against the settled fabric (the
         // capture is not part of the settle schedule).
-        eval_op<W>(dsp_capture_[sq.capture]);
-        std::copy_n(&state[sq.d], kLanes, next);
+        eval_op<W>(p.dsp_capture_[sq.capture]);
+        std::copy_n(state + sq.d, kLanes, next);
         break;
       }
       case CellType::kBram: {
-        const W* raddr = &state[sq.raddr];
+        const W* raddr = state + sq.raddr;
         if (sq.mem_shared) {
-          const W* mem = sq.mem_depth > 0 ? &mem_state[sq.mem_base] : nullptr;
+          const W* mem = sq.mem_depth > 0 ? rom_state + sq.mem_base : nullptr;
           for (std::size_t l = 0; l < kLanes; ++l) {
             next[l] = raddr[l] < sq.mem_depth ? mem[raddr[l]] : 0;
           }
         } else {
           for (std::size_t l = 0; l < kLanes; ++l) {
             next[l] = raddr[l] < sq.mem_depth
-                          ? mem_state[sq.mem_base + raddr[l] * kLanes + l]
+                          ? wmem_state[sq.mem_base + raddr[l] * kLanes + l]
                           : 0;
           }
           // Read-first within the cell: the write lands after the capture.
-          const W* we = &state[sq.we];
-          const W* waddr = &state[sq.waddr];
-          const W* wdata = &state[sq.wdata];
+          const W* we = state + sq.we;
+          const W* waddr = state + sq.waddr;
+          const W* wdata = state + sq.wdata;
           const W mask = static_cast<W>(sq.mask);
           for (std::size_t l = 0; l < kLanes; ++l) {
             if ((we[l] & 1) != 0 && waddr[l] < sq.mem_depth) {
-              mem_state[sq.mem_base + waddr[l] * kLanes + l] =
+              wmem_state[sq.mem_base + waddr[l] * kLanes + l] =
                   static_cast<W>(wdata[l] & mask);
             }
           }
@@ -677,8 +797,8 @@ void CompiledSim::step_impl() {
   // is a ring (logical slot s at physical (head + s) % depth): the common
   // all-lanes-enabled commit retreats the head and writes one group —
   // O(1) in depth, matching the interpreter's deque rotate.
-  for (std::size_t i = 0; i < seq_.size(); ++i) {
-    const SeqOp& sq = seq_[i];
+  for (std::size_t i = 0; i < p.seq_.size(); ++i) {
+    const SimPlan::SeqOp& sq = p.seq_[i];
     const W* next = &seq_next[i * kLanes];
     const std::uint64_t en = seq_en_[i];
     if (sq.depth == 1) {
@@ -687,11 +807,11 @@ void CompiledSim::step_impl() {
       // capture, skipping the pipe write + tail read round-trip.
       if (en == ~0ULL) {
         for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
-          std::copy_n(next, kLanes, &state[fanout_[sq.fan_begin + f]]);
+          std::copy_n(next, kLanes, state + p.fanout_[sq.fan_begin + f]);
         }
       } else if (en != 0) {
         for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
-          W* dst = &state[fanout_[sq.fan_begin + f]];
+          W* dst = state + p.fanout_[sq.fan_begin + f];
           for (std::size_t l = 0; l < kLanes; ++l) {
             if ((en >> l) & 1) dst[l] = next[l];
           }
@@ -713,8 +833,7 @@ void CompiledSim::step_impl() {
           const std::uint32_t phys = head + s < sq.depth ? head + s : head + s - sq.depth;
           std::copy_n(&pipe[phys * kLanes], kLanes, &ring_scratch[s * kLanes]);
         }
-        std::copy_n(ring_scratch.data(), static_cast<std::size_t>(sq.depth) * kLanes,
-                    pipe);
+        std::copy_n(ring_scratch, static_cast<std::size_t>(sq.depth) * kLanes, pipe);
         head = 0;
       }
       for (std::uint32_t s = sq.depth - 1; s > 0; --s) {
@@ -732,7 +851,7 @@ void CompiledSim::step_impl() {
         head + sq.depth - 1 < sq.depth ? head + sq.depth - 1 : head - 1;
     const W* tail_group = &pipe[tail * kLanes];
     for (std::uint32_t f = 0; f < sq.fan_count; ++f) {
-      std::copy_n(tail_group, kLanes, &state[fanout_[sq.fan_begin + f]]);
+      std::copy_n(tail_group, kLanes, state + p.fanout_[sq.fan_begin + f]);
     }
   }
 
@@ -743,8 +862,9 @@ void CompiledSim::step_impl() {
 
 std::string compare_compiled_vs_interpreter(const Netlist& netlist, int cycles,
                                             std::uint64_t seed,
-                                            std::span<const int> lanes_to_check) {
-  constexpr std::size_t lanes = CompiledSim::kLanes;
+                                            std::span<const int> lanes_to_check,
+                                            std::shared_ptr<const SimPlan> plan) {
+  constexpr std::size_t lanes = SimPlan::kLanes;
   std::vector<const Port*> ins;
   std::vector<const Port*> outs;
   for (const Port& port : netlist.ports()) {
@@ -762,7 +882,8 @@ std::string compare_compiled_vs_interpreter(const Netlist& netlist, int cycles,
 
   // Compiled pass: record every output, pre-edge (after inputs settle) and
   // post-edge (after step, before the next cycle's inputs).
-  CompiledSim cs(netlist);
+  if (!plan) plan = SimPlan::compile(netlist);
+  CompiledSim cs(plan);
   std::vector<int> in_idx(ins.size());
   std::vector<int> out_idx(outs.size());
   for (std::size_t i = 0; i < ins.size(); ++i) in_idx[i] = cs.input_index(ins[i]->name);

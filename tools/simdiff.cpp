@@ -11,6 +11,7 @@
 // Exit status: 0 = bit-identical on every checked design,
 //              1 = at least one divergence (printed),
 //              2 = usage error or a design that failed to build/load.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,9 @@ void usage(std::FILE* to) {
                "  --mono         with --model, also check the monolithic baseline\n"
                "  --dsp N        DSP budget for --model (default per model)\n"
                "  --cycles N     cycles of random stimulus (default 32)\n"
+               "  --vectors N    size the run in inference vectors instead: the cycle\n"
+               "                 count becomes ceil(N / 64) (one 64-lane frame per\n"
+               "                 cycle); overrides --cycles, for scripted long soaks\n"
                "  --seed S       stimulus seed (default 1)\n"
                "  --lanes N      interpreter replays of the 64-lane batch: 0 = all,\n"
                "                 else N evenly spread lanes (default 4)\n"
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   bool mono = false;
   long dsp_budget = -1;
   int cycles = 32;
+  std::uint64_t vectors = 0;  // 0 = use --cycles directly
   std::uint64_t seed = 1;
   int lane_count = 4;
   std::vector<std::string> paths;
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
       dsp_budget = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--cycles" && i + 1 < argc) {
       cycles = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--vectors" && i + 1 < argc) {
+      vectors = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--lanes" && i + 1 < argc) {
@@ -86,6 +93,16 @@ int main(int argc, char** argv) {
   if (paths.empty() && model_name.empty()) {
     usage(stderr);
     return 2;
+  }
+  if (vectors > 0) {
+    // One cycle drives one 64-lane frame = 64 inference vectors.
+    const std::uint64_t c = (vectors + 63) / 64;
+    if (c > static_cast<std::uint64_t>(INT32_MAX)) {
+      std::fprintf(stderr, "simdiff: --vectors %llu is too large\n",
+                   static_cast<unsigned long long>(vectors));
+      return 2;
+    }
+    cycles = static_cast<int>(c);
   }
 
   std::vector<int> lanes;
